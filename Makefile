@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test cover bench experiments experiments-quick fmt
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure into results/ (paper-faithful scale).
+experiments:
+	go run ./cmd/experiments -out results
+
+experiments-quick:
+	go run ./cmd/experiments -quick -out results
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,101 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and writes the artifacts under an output directory.
+//
+// Usage:
+//
+//	experiments [-quick] [-out results] [-only T2,F3] [-seed 1]
+//
+// With no flags it runs the full paper-faithful profile (1000-second
+// single-hop simulations, the 100-node mobile scenario); -quick switches
+// to a fast smoke profile. Each experiment writes <id>.txt with its
+// rendered tables/charts and metric summary, plus any CSV artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"selfishmac/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "use the fast smoke profile instead of the paper-faithful one")
+	out := fs.String("out", "results", "output directory")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	seed := fs.Uint64("seed", 1, "master random seed")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := experiments.All()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-3s %s\n", r.ID, r.Name)
+		}
+		return nil
+	}
+
+	settings := experiments.DefaultSettings()
+	if *quick {
+		settings = experiments.QuickSettings()
+	}
+	settings.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	var failures int
+	for _, r := range all {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("=== %s: %s\n", r.ID, r.Name)
+		rep, err := r.Run(settings)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", r.ID, err)
+			continue
+		}
+		fmt.Print(rep.Text)
+		if len(rep.Metrics) > 0 {
+			fmt.Println(rep.MetricsSummary())
+		}
+		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+
+		body := rep.Text + "\n" + rep.MetricsSummary()
+		if err := os.WriteFile(filepath.Join(*out, strings.ToLower(r.ID)+".txt"), []byte(body), 0o644); err != nil {
+			return err
+		}
+		for _, a := range rep.Artifacts {
+			if err := os.WriteFile(filepath.Join(*out, a.Name), []byte(a.Content), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunListsExperiments(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	// T1 is pure configuration; A4 exercises randomized checks; both are
+	// fast even at the quick profile.
+	if err := run([]string{"-quick", "-out", dir, "-only", "T1,A4"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"t1.txt", "a4.txt"} {
+		body, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+		if len(body) == 0 {
+			t.Fatalf("artifact %s is empty", name)
+		}
+	}
+	t1, _ := os.ReadFile(filepath.Join(dir, "t1.txt"))
+	if !strings.Contains(string(t1), "8184 bits") {
+		t.Errorf("t1.txt missing Table I content")
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunOnlyFilterSkipsOthers(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-out", dir, "-only", "T1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a4.txt")); !os.IsNotExist(err) {
+		t.Error("filter did not skip A4")
+	}
+}
+
+func TestRunCreatesOutputDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "results")
+	if err := run([]string{"-quick", "-out", dir, "-only", "T1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t1.txt")); err != nil {
+		t.Fatalf("nested output dir not created: %v", err)
+	}
+}

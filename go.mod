@@ -1,0 +1,3 @@
+module selfishmac
+
+go 1.22

@@ -1,0 +1,513 @@
+package bianchi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selfishmac/internal/num"
+	"selfishmac/internal/phy"
+	"selfishmac/internal/rng"
+)
+
+func mustModel(t testing.TB, mode phy.AccessMode) *Model {
+	t.Helper()
+	m, err := New(phy.Default().MustTiming(mode), phy.Default().MaxBackoffStage)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	tm := phy.Default().MustTiming(phy.Basic)
+	if _, err := New(tm, -1); err == nil {
+		t.Error("negative stage accepted")
+	}
+	if _, err := New(tm, 17); err == nil {
+		t.Error("stage 17 accepted")
+	}
+	bad := tm
+	bad.Slot = 0
+	if _, err := New(bad, 6); err == nil {
+		t.Error("zero slot accepted")
+	}
+}
+
+func TestTauAtZeroCollision(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	for _, w := range []int{1, 2, 16, 32, 1024} {
+		want := 2 / float64(w+1)
+		if got := m.Tau(w, 0); math.Abs(got-want) > 1e-15 {
+			t.Errorf("Tau(%d, 0) = %g, want %g", w, got, want)
+		}
+	}
+}
+
+// Tau must equal Bianchi's closed form 2(1-2p)/((1-2p)(W+1)+pW(1-(2p)^m))
+// away from p = 1/2, and stay finite and continuous at p = 1/2.
+func TestTauMatchesClosedForm(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	mm := float64(m.MaxStage)
+	closed := func(w int, p float64) float64 {
+		fw := float64(w)
+		return 2 * (1 - 2*p) / ((1-2*p)*(fw+1) + p*fw*(1-math.Pow(2*p, mm)))
+	}
+	for _, w := range []int{1, 8, 32, 128, 1024} {
+		for _, p := range []float64{0.01, 0.1, 0.3, 0.49, 0.51, 0.7, 0.95} {
+			got, want := m.Tau(w, p), closed(w, p)
+			if math.Abs(got-want) > 1e-12*want {
+				t.Errorf("Tau(%d, %g) = %.15g, closed form %.15g", w, p, got, want)
+			}
+		}
+		// Continuity across the p = 1/2 singularity of the closed form.
+		below, at, above := m.Tau(w, 0.5-1e-9), m.Tau(w, 0.5), m.Tau(w, 0.5+1e-9)
+		if math.Abs(below-at) > 1e-6*at || math.Abs(above-at) > 1e-6*at {
+			t.Errorf("Tau discontinuous at p=1/2 for w=%d: %g %g %g", w, below, at, above)
+		}
+	}
+}
+
+func TestTauMonotoneInWAndP(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	for _, p := range []float64{0, 0.2, 0.5, 0.8} {
+		prev := math.Inf(1)
+		for _, w := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+			tau := m.Tau(w, p)
+			if tau >= prev {
+				t.Fatalf("Tau not decreasing in W at p=%g: Tau(%d)=%g >= %g", p, w, tau, prev)
+			}
+			prev = tau
+		}
+	}
+	for _, w := range []int{2, 16, 128} {
+		prev := math.Inf(1)
+		for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			tau := m.Tau(w, p)
+			if tau >= prev {
+				t.Fatalf("Tau not decreasing in p at w=%d: Tau(p=%g)=%g >= %g", w, p, tau, prev)
+			}
+			prev = tau
+		}
+	}
+}
+
+func TestSolveUniformSelfConsistent(t *testing.T) {
+	for _, mode := range []phy.AccessMode{phy.Basic, phy.RTSCTS} {
+		m := mustModel(t, mode)
+		for _, n := range []int{2, 5, 20, 50} {
+			for _, w := range []int{2, 16, 76, 336, 879} {
+				sol, err := m.SolveUniform(w, n)
+				if err != nil {
+					t.Fatalf("SolveUniform(%d, %d): %v", w, n, err)
+				}
+				tau, p := sol.Tau[0], sol.P[0]
+				// Eq. (3): p = 1 - (1-tau)^(n-1).
+				if want := 1 - math.Pow(1-tau, float64(n-1)); math.Abs(p-want) > 1e-10 {
+					t.Errorf("mode=%v w=%d n=%d: p=%g inconsistent with tau (want %g)", mode, w, n, p, want)
+				}
+				// Eq. (2): tau = Tau(w, p).
+				if want := m.Tau(w, p); math.Abs(tau-want) > 1e-10 {
+					t.Errorf("mode=%v w=%d n=%d: tau=%g, eq2 gives %g", mode, w, n, tau, want)
+				}
+				if tau <= 0 || tau >= 1 {
+					t.Errorf("tau=%g outside (0,1)", tau)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveUniformSingleNode(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	sol, err := m.SolveUniform(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.P[0] != 0 {
+		t.Errorf("single node collision probability = %g, want 0", sol.P[0])
+	}
+	if want := 2.0 / 33; math.Abs(sol.Tau[0]-want) > 1e-12 {
+		t.Errorf("single node tau = %g, want %g", sol.Tau[0], want)
+	}
+	if sol.Ps != 1 {
+		t.Errorf("single node Ps = %g, want 1", sol.Ps)
+	}
+}
+
+func TestSolveHeterogeneousMatchesUniform(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	for _, n := range []int{2, 5, 10} {
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 64
+		}
+		het, err := m.Solve(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni, err := m.SolveUniform(64, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(het.Tau[i]-uni.Tau[i]) > 1e-9 {
+				t.Errorf("n=%d node %d: heterogeneous tau %g != uniform %g", n, i, het.Tau[i], uni.Tau[i])
+			}
+		}
+		if math.Abs(het.Throughput-uni.Throughput) > 1e-9 {
+			t.Errorf("n=%d: throughput mismatch %g vs %g", n, het.Throughput, uni.Throughput)
+		}
+	}
+}
+
+func TestSolveHeterogeneousSelfConsistent(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	w := []int{8, 32, 32, 128, 500}
+	sol, err := m.Solve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		// Eq. (3) against the other nodes' taus.
+		prod := 1.0
+		for j := range w {
+			if j != i {
+				prod *= 1 - sol.Tau[j]
+			}
+		}
+		if want := 1 - prod; math.Abs(sol.P[i]-want) > 1e-9 {
+			t.Errorf("node %d: p=%g, eq3 gives %g", i, sol.P[i], want)
+		}
+		if want := m.Tau(w[i], sol.P[i]); math.Abs(sol.Tau[i]-want) > 1e-9 {
+			t.Errorf("node %d: tau=%g, eq2 gives %g", i, sol.Tau[i], want)
+		}
+	}
+	// Equal CW values must yield equal probabilities (nodes 1 and 2).
+	if sol.Tau[1] != sol.Tau[2] || sol.P[1] != sol.P[2] {
+		t.Errorf("symmetric nodes solved asymmetrically: %v %v", sol.Tau, sol.P)
+	}
+}
+
+// Lemma 1 (paper): W_i > W_j  =>  p_i > p_j, tau_i < tau_j, and lower
+// per-slot success rate. Checked as a property over random profiles.
+func TestLemma1OrderingProperty(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 1 + r.Intn(500)
+		}
+		sol, err := m.Solve(w)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if w[i] > w[j] {
+					if !(sol.P[i] > sol.P[j]-1e-12) || !(sol.Tau[i] < sol.Tau[j]+1e-12) {
+						return false
+					}
+					if !(sol.SuccessRate(i) < sol.SuccessRate(j)+1e-12) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveDeviationMatchesGeneral(t *testing.T) {
+	m := mustModel(t, phy.RTSCTS)
+	cases := []struct{ wDev, wBase, n int }{
+		{8, 64, 5},
+		{200, 48, 20},
+		{48, 48, 20}, // degenerate: falls back to uniform
+		{1, 300, 3},
+	}
+	for _, tc := range cases {
+		dev, err := m.SolveDeviation(tc.wDev, tc.wBase, tc.n)
+		if err != nil {
+			t.Fatalf("SolveDeviation(%+v): %v", tc, err)
+		}
+		w := make([]int, tc.n)
+		w[0] = tc.wDev
+		for i := 1; i < tc.n; i++ {
+			w[i] = tc.wBase
+		}
+		gen, err := m.Solve(w)
+		if err != nil {
+			t.Fatalf("Solve(%v): %v", w, err)
+		}
+		if math.Abs(dev.Tau[0]-gen.Tau[0]) > 1e-8 || math.Abs(dev.Tau[1]-gen.Tau[1]) > 1e-8 {
+			t.Errorf("%+v: two-class tau (%g, %g) != general (%g, %g)",
+				tc, dev.Tau[0], dev.Tau[1], gen.Tau[0], gen.Tau[1])
+		}
+		if math.Abs(dev.Tslot-gen.Tslot) > 1e-6 {
+			t.Errorf("%+v: Tslot %g != %g", tc, dev.Tslot, gen.Tslot)
+		}
+	}
+}
+
+func TestSolveDeviationErrors(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	if _, err := m.SolveDeviation(8, 8, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := m.SolveDeviation(0, 8, 5); err == nil {
+		t.Error("CW 0 accepted")
+	}
+}
+
+func TestSolveRejectsBadProfiles(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	if _, err := m.Solve(nil); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := m.Solve([]int{4, 0}); err == nil {
+		t.Error("CW 0 accepted")
+	}
+	if _, err := m.SolveUniform(16, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSlotStatsDecomposition(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	sol, err := m.SolveUniform(76, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sol.SlotStats
+	if st.Ptr <= 0 || st.Ptr >= 1 {
+		t.Errorf("Ptr = %g outside (0,1)", st.Ptr)
+	}
+	if st.Ps <= 0 || st.Ps > 1 {
+		t.Errorf("Ps = %g outside (0,1]", st.Ps)
+	}
+	if math.Abs(st.PsuccSlot-st.Ps*st.Ptr) > 1e-12 {
+		t.Errorf("PsuccSlot %g != Ps*Ptr %g", st.PsuccSlot, st.Ps*st.Ptr)
+	}
+	// Tslot must be a convex combination of sigma, Ts, Tc.
+	tm := m.Timing
+	lo := math.Min(tm.Slot, math.Min(tm.Ts, tm.Tc))
+	hi := math.Max(tm.Slot, math.Max(tm.Ts, tm.Tc))
+	if st.Tslot < lo || st.Tslot > hi {
+		t.Errorf("Tslot = %g outside [%g, %g]", st.Tslot, lo, hi)
+	}
+	if st.Throughput <= 0 || st.Throughput >= 1 {
+		t.Errorf("throughput = %g outside (0,1)", st.Throughput)
+	}
+	// Manual recomputation.
+	manual := st.PsuccSlot * tm.Payload / st.Tslot
+	if math.Abs(st.Throughput-manual) > 1e-12 {
+		t.Errorf("throughput %g != manual %g", st.Throughput, manual)
+	}
+}
+
+func TestExclProducts(t *testing.T) {
+	tau := []float64{0.1, 0.5, 0.25, 0.9}
+	excl := make([]float64, len(tau))
+	exclProducts(tau, excl)
+	for i := range tau {
+		want := 1.0
+		for j := range tau {
+			if j != i {
+				want *= 1 - tau[j]
+			}
+		}
+		if math.Abs(excl[i]-want) > 1e-14 {
+			t.Errorf("excl[%d] = %g, want %g", i, excl[i], want)
+		}
+	}
+}
+
+func TestExclProductsWithSaturatedNode(t *testing.T) {
+	// tau = 1 must not poison other entries with division by zero.
+	tau := []float64{1, 0.3, 0.2}
+	excl := make([]float64, 3)
+	exclProducts(tau, excl)
+	if math.Abs(excl[0]-0.7*0.8) > 1e-14 {
+		t.Errorf("excl[0] = %g, want 0.56", excl[0])
+	}
+	if excl[1] != 0 || excl[2] != 0 {
+		t.Errorf("excl for peers of a saturated node = %v, want zeros", excl[1:])
+	}
+}
+
+func TestOptimalTauProperties(t *testing.T) {
+	for _, mode := range []phy.AccessMode{phy.Basic, phy.RTSCTS} {
+		m := mustModel(t, mode)
+		prev := 1.0
+		for _, n := range []int{2, 5, 10, 20, 50, 100} {
+			tau, err := m.OptimalTau(n)
+			if err != nil {
+				t.Fatalf("OptimalTau(%d): %v", n, err)
+			}
+			if tau <= 0 || tau >= 1 {
+				t.Fatalf("OptimalTau(%d) = %g outside (0,1)", n, tau)
+			}
+			if tau >= prev {
+				t.Errorf("mode=%v: optimal tau not decreasing in n: tau(%d)=%g >= %g", mode, n, tau, prev)
+			}
+			prev = tau
+			// Verify the root: Q changes sign around it.
+			q := m.OptimalTauCondition(n)
+			if q(tau*0.9) <= 0 || q(math.Min(tau*1.1, 1-1e-9)) >= 0 {
+				t.Errorf("mode=%v n=%d: Q does not change sign around root %g", mode, n, tau)
+			}
+		}
+	}
+	m := mustModel(t, phy.Basic)
+	if _, err := m.OptimalTau(1); err == nil {
+		t.Error("OptimalTau(1) accepted")
+	}
+}
+
+// The Q-condition root must agree with a direct numerical maximization of
+// the per-node payoff rate tau*(1-tau)^(n-1)/Tslot (the e<<g objective).
+func TestOptimalTauMatchesDirectMaximization(t *testing.T) {
+	for _, mode := range []phy.AccessMode{phy.Basic, phy.RTSCTS} {
+		m := mustModel(t, mode)
+		tm := m.Timing
+		for _, n := range []int{5, 20, 50} {
+			fn := float64(n)
+			payoff := func(tau float64) float64 {
+				idle := math.Pow(1-tau, fn)
+				psucc := fn * tau * math.Pow(1-tau, fn-1)
+				ptr := 1 - idle
+				tslot := idle*tm.Slot + psucc*tm.Ts + (ptr-psucc)*tm.Tc
+				return tau * math.Pow(1-tau, fn-1) / tslot
+			}
+			direct, err := num.GoldenMax(payoff, 1e-6, 0.9, num.Options{Tol: 1e-12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			analytic, err := m.OptimalTau(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(direct-analytic) > 1e-5 {
+				t.Errorf("mode=%v n=%d: direct argmax %g != Q-root %g", mode, n, direct, analytic)
+			}
+		}
+	}
+}
+
+// Sanity anchor: the efficient-NE taus implied by the paper's Table II
+// basic-case CW values must be near the Q-condition root.
+func TestPaperTable2Consistency(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	cases := []struct {
+		n  int
+		wc int // paper's Wc*
+	}{
+		{5, 76}, {20, 336}, {50, 879},
+	}
+	for _, tc := range cases {
+		sol, err := m.SolveUniform(tc.wc, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := m.OptimalTau(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(sol.Tau[0]-opt) / opt; rel > 0.10 {
+			t.Errorf("n=%d: tau at paper Wc*=%d is %g, Q-root %g (rel err %.2f)",
+				tc.n, tc.wc, sol.Tau[0], opt, rel)
+		}
+	}
+}
+
+func TestThroughputPeaksNearOptimalTau(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	n := 20
+	best, _, err := num.ArgmaxIntCoarse(func(w int) float64 {
+		sol, err := m.SolveUniform(w, n)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return sol.Throughput
+	}, 1, 2000, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _ := m.SolveUniform(best, n)
+	opt, _ := m.OptimalTau(n)
+	if math.Abs(sol.Tau[0]-opt)/opt > 0.05 {
+		t.Errorf("throughput-max CW %d has tau %g, expected near %g", best, sol.Tau[0], opt)
+	}
+}
+
+func BenchmarkSolveUniform(b *testing.B) {
+	m := mustModel(b, phy.Basic)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveUniform(336, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveHeterogeneous50(b *testing.B) {
+	m := mustModel(b, phy.Basic)
+	r := rng.New(1)
+	w := make([]int, 50)
+	for i := range w {
+		w[i] = 1 + r.Intn(1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveDeviation(b *testing.B) {
+	m := mustModel(b, phy.Basic)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveDeviation(100, 336, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMeanAccessDelay(t *testing.T) {
+	m := mustModel(t, phy.Basic)
+	sol, err := m.SolveUniform(76, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sol.MeanAccessDelay(0)
+	// Sanity: with 5 nodes sharing a ~0.83-throughput channel and
+	// ~9 ms per packet exchange, per-node inter-success time is ~55 ms.
+	if d < 20e3 || d > 200e3 {
+		t.Fatalf("delay = %g us, implausible", d)
+	}
+	// Cross-check against the definition.
+	want := sol.Tslot / (sol.Tau[0] * (1 - sol.P[0]))
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("delay %g != definition %g", d, want)
+	}
+	// Delay grows with population at the respective NEs.
+	sol20, err := m.SolveUniform(336, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol20.MeanAccessDelay(0) <= d {
+		t.Errorf("delay should grow with n: %g <= %g", sol20.MeanAccessDelay(0), d)
+	}
+	// Degenerate: a zero success rate yields infinite delay.
+	degenerate := &Solution{Tau: []float64{0}, P: []float64{0}}
+	degenerate.Tslot = 100
+	if !math.IsInf(degenerate.MeanAccessDelay(0), 1) {
+		t.Error("zero success rate should give +Inf delay")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"selfishmac/internal/num"
+)
+
+// DeviationOutcome captures the stage payoffs when one player deviates
+// from a uniform profile (the setting of Lemma 4).
+type DeviationOutcome struct {
+	// WDev is the deviator's CW, WBase everyone else's.
+	WDev, WBase int
+	// UDev and UPeer are the utility rates of the deviator and of a
+	// conforming peer in the deviated profile.
+	UDev, UPeer float64
+	// UUniform is the per-node utility rate of the undisturbed uniform
+	// profile (all at WBase).
+	UUniform float64
+}
+
+// Deviation solves the one-deviator profile (wDev; wBase, …, wBase) and
+// the uniform baseline, returning the Lemma 4 payoff triple.
+func (g *Game) Deviation(wDev, wBase int) (DeviationOutcome, error) {
+	if g.cfg.N < 2 {
+		return DeviationOutcome{}, fmt.Errorf("core: deviation analysis needs >= 2 players, have %d", g.cfg.N)
+	}
+	dev, err := g.model.SolveDeviation(wDev, wBase, g.cfg.N)
+	if err != nil {
+		return DeviationOutcome{}, err
+	}
+	uni, err := g.UniformUtilityRate(wBase)
+	if err != nil {
+		return DeviationOutcome{}, err
+	}
+	out := DeviationOutcome{
+		WDev:     wDev,
+		WBase:    wBase,
+		UDev:     g.UtilityRate(dev, 0),
+		UUniform: uni,
+	}
+	if g.cfg.N >= 2 {
+		out.UPeer = g.UtilityRate(dev, 1)
+	}
+	return out, nil
+}
+
+// SatisfiesLemma4 reports whether the outcome obeys the orderings of
+// Lemma 4: a deviator with a larger CW is disfavored
+// (U_dev < U_uniform < U_peer) and one with a smaller CW is favored
+// (U_peer < U_uniform < U_dev). Equal CWs satisfy it trivially.
+func (d DeviationOutcome) SatisfiesLemma4() bool {
+	const eps = 1e-15
+	switch {
+	case d.WDev > d.WBase:
+		return d.UDev < d.UUniform+eps && d.UUniform < d.UPeer+eps
+	case d.WDev < d.WBase:
+		return d.UPeer < d.UUniform+eps && d.UUniform < d.UDev+eps
+	default:
+		return true
+	}
+}
+
+// ShortSightedResult is the Section V.D analysis for one short-sighted
+// player with discount δ_s facing TFT peers that take lag stages to react.
+type ShortSightedResult struct {
+	// DeltaS and Lag echo the inputs.
+	DeltaS float64
+	Lag    int
+	// WBest is the deviation Ws maximizing the player's discounted payoff.
+	WBest int
+	// UDeviate is the discounted payoff of playing WBest (lag stages of
+	// advantage, then collapse to the uniform WBest profile forever).
+	UDeviate float64
+	// UHonest is the discounted payoff of staying at Wc* forever.
+	UHonest float64
+	// GainRatio is UDeviate / UHonest (> 1 means deviating pays).
+	GainRatio float64
+	// PostCollapsePerNode is the per-node utility rate after everyone has
+	// matched WBest — the damage inflicted on the network.
+	PostCollapsePerNode float64
+	// GlobalLossFrac is the relative global-payoff loss after collapse:
+	// 1 − u(WBest)/u(Wc*).
+	GlobalLossFrac float64
+}
+
+// ShortSightedBest finds the payoff-maximizing deviation for a
+// short-sighted player (discount deltaS in [0, 1)) against TFT peers at
+// the efficient NE ne, when peers need lag >= 1 stages to react:
+//
+//	U_s(Ws) = (1−δ_s^lag)/(1−δ_s) · U_s^dev(Ws)  +  δ_s^lag/(1−δ_s) · U_s^post(Ws)
+//
+// with U_s^dev the stage payoff while others still play Wc* and U_s^post
+// the stage payoff after everyone has matched Ws.
+func (g *Game) ShortSightedBest(ne NE, deltaS float64, lag int) (ShortSightedResult, error) {
+	if deltaS < 0 || deltaS >= 1 {
+		return ShortSightedResult{}, fmt.Errorf("core: short-sighted discount %g outside [0, 1)", deltaS)
+	}
+	if lag < 1 {
+		return ShortSightedResult{}, fmt.Errorf("core: reaction lag %d must be >= 1", lag)
+	}
+	T := g.cfg.StageDuration
+	geomHead := (1 - math.Pow(deltaS, float64(lag))) / (1 - deltaS)
+	geomTail := math.Pow(deltaS, float64(lag)) / (1 - deltaS)
+
+	var solveErr error
+	payoff := func(ws int) float64 {
+		dev, err := g.Deviation(ws, ne.WStar)
+		if err != nil {
+			solveErr = err
+			return math.Inf(-1)
+		}
+		post, err := g.UniformUtilityRate(ws)
+		if err != nil {
+			solveErr = err
+			return math.Inf(-1)
+		}
+		return geomHead*dev.UDev*T + geomTail*post*T
+	}
+	stride := ne.WStar / 64
+	wBest, uBest, err := num.ArgmaxIntCoarse(payoff, 1, g.cfg.WMax, max(stride, 1))
+	if err != nil {
+		return ShortSightedResult{}, err
+	}
+	if solveErr != nil {
+		return ShortSightedResult{}, solveErr
+	}
+
+	uHonest := ne.UStar * T / (1 - deltaS)
+	post, err := g.UniformUtilityRate(wBest)
+	if err != nil {
+		return ShortSightedResult{}, err
+	}
+	res := ShortSightedResult{
+		DeltaS:              deltaS,
+		Lag:                 lag,
+		WBest:               wBest,
+		UDeviate:            uBest,
+		UHonest:             uHonest,
+		PostCollapsePerNode: post,
+		GlobalLossFrac:      1 - post/ne.UStar,
+	}
+	if uHonest != 0 {
+		res.GainRatio = uBest / uHonest
+	}
+	return res, nil
+}
+
+// MaliciousResult is the Section V.E analysis of a malicious player that
+// pins its CW at wMal < Wc* to damage the network.
+type MaliciousResult struct {
+	// WMal is the malicious CW.
+	WMal int
+	// GlobalAtNE is the global utility rate with everyone at Wc*.
+	GlobalAtNE float64
+	// GlobalTransient is the global utility rate while only the attacker
+	// deviates (before TFT drags everyone down).
+	GlobalTransient float64
+	// GlobalCollapsed is the global utility rate after TFT convergence to
+	// the uniform wMal profile.
+	GlobalCollapsed float64
+	// Paralyzed reports whether the post-convergence network operates at
+	// non-positive payoff (the paper's "network collapse").
+	Paralyzed bool
+}
+
+// MaliciousImpact quantifies the damage of a malicious player pinned at
+// wMal against TFT peers initially at the efficient NE ne.
+func (g *Game) MaliciousImpact(ne NE, wMal int) (MaliciousResult, error) {
+	if wMal < 1 {
+		return MaliciousResult{}, fmt.Errorf("core: malicious CW %d must be >= 1", wMal)
+	}
+	n := float64(g.cfg.N)
+	dev, err := g.model.SolveDeviation(wMal, ne.WStar, g.cfg.N)
+	if err != nil {
+		return MaliciousResult{}, err
+	}
+	rates := g.UtilityRates(dev)
+	var transient float64
+	for _, u := range rates {
+		transient += u
+	}
+	post, err := g.UniformUtilityRate(wMal)
+	if err != nil {
+		return MaliciousResult{}, err
+	}
+	return MaliciousResult{
+		WMal:            wMal,
+		GlobalAtNE:      n * ne.UStar,
+		GlobalTransient: transient,
+		GlobalCollapsed: n * post,
+		Paralyzed:       post <= 0,
+	}, nil
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selfishmac/internal/phy"
+	"selfishmac/internal/rng"
+)
+
+func TestDeviationLemma4UpAndDown(t *testing.T) {
+	g := mustGame(t, 10, phy.Basic)
+	base := 300
+	up, err := g.Deviation(600, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 4(1): W_i > W_k  =>  U_dev < U_uniform < U_peer.
+	if !(up.UDev < up.UUniform && up.UUniform < up.UPeer) {
+		t.Errorf("upward deviation ordering violated: dev=%g uni=%g peer=%g", up.UDev, up.UUniform, up.UPeer)
+	}
+	if !up.SatisfiesLemma4() {
+		t.Error("SatisfiesLemma4 false for upward deviation")
+	}
+	down, err := g.Deviation(100, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 4(2): W_i < W_k  =>  U_peer < U_uniform < U_dev.
+	if !(down.UPeer < down.UUniform && down.UUniform < down.UDev) {
+		t.Errorf("downward deviation ordering violated: dev=%g uni=%g peer=%g", down.UDev, down.UUniform, down.UPeer)
+	}
+	if !down.SatisfiesLemma4() {
+		t.Error("SatisfiesLemma4 false for downward deviation")
+	}
+}
+
+// Property: Lemma 4 orderings hold across random populations, baselines
+// and deviations, in both access modes.
+func TestLemma4Property(t *testing.T) {
+	games := map[phy.AccessMode]*Game{
+		phy.Basic:  mustGame(t, 8, phy.Basic),
+		phy.RTSCTS: mustGame(t, 8, phy.RTSCTS),
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		mode := phy.Basic
+		if r.Intn(2) == 1 {
+			mode = phy.RTSCTS
+		}
+		g := games[mode]
+		wBase := 2 + r.Intn(800)
+		wDev := 1 + r.Intn(1200)
+		out, err := g.Deviation(wDev, wBase)
+		if err != nil {
+			return false
+		}
+		return out.SatisfiesLemma4()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviationEqualCW(t *testing.T) {
+	g := mustGame(t, 5, phy.Basic)
+	out, err := g.Deviation(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.UDev-out.UUniform) > 1e-12 || math.Abs(out.UPeer-out.UUniform) > 1e-12 {
+		t.Errorf("equal-CW deviation should equal uniform: %+v", out)
+	}
+	if !out.SatisfiesLemma4() {
+		t.Error("equal CW must satisfy Lemma 4 trivially")
+	}
+}
+
+func TestShortSightedExtremes(t *testing.T) {
+	g := mustGame(t, 10, phy.Basic)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// δ_s → 0: deviating pays (the paper's first case). Use lag 1.
+	myopic, err := g.ShortSightedBest(ne, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if myopic.WBest >= ne.WStar {
+		t.Errorf("myopic player should undercut: WBest = %d vs Wc* = %d", myopic.WBest, ne.WStar)
+	}
+	if myopic.GainRatio <= 1 {
+		t.Errorf("myopic gain ratio = %g, want > 1", myopic.GainRatio)
+	}
+	if myopic.GlobalLossFrac <= 0 {
+		t.Errorf("myopic deviation must damage the network: loss = %g", myopic.GlobalLossFrac)
+	}
+
+	// δ_s → 1: the long-sighted player plays (nearly) Wc* — deviating
+	// cannot beat honesty by any meaningful margin.
+	patient, err := g.ShortSightedBest(ne, 0.99995, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patient.GainRatio > 1.001 {
+		t.Errorf("long-sighted gain ratio = %g, want <= ~1", patient.GainRatio)
+	}
+	if rel := math.Abs(float64(patient.WBest-ne.WStar)) / float64(ne.WStar); rel > 0.25 {
+		t.Errorf("long-sighted best deviation %d far from Wc* = %d", patient.WBest, ne.WStar)
+	}
+}
+
+func TestShortSightedMonotoneInDelta(t *testing.T) {
+	g := mustGame(t, 10, phy.Basic)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGain := math.Inf(1)
+	for _, d := range []float64{0, 0.5, 0.9, 0.99, 0.999} {
+		res, err := g.ShortSightedBest(ne, d, 1)
+		if err != nil {
+			t.Fatalf("δ=%g: %v", d, err)
+		}
+		// The benefit of deviating shrinks as the player becomes more
+		// patient (allow tiny numerical slack).
+		if res.GainRatio > prevGain+1e-9 {
+			t.Errorf("gain ratio increased with patience: δ=%g gives %g > %g", d, res.GainRatio, prevGain)
+		}
+		prevGain = res.GainRatio
+	}
+}
+
+func TestShortSightedLongerLagHelpsDeviator(t *testing.T) {
+	g := mustGame(t, 10, phy.Basic)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag1, err := g.ShortSightedBest(ne, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag5, err := g.ShortSightedBest(ne, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag5.UDeviate <= lag1.UDeviate {
+		t.Errorf("slower punishment should help the deviator: lag5 %g <= lag1 %g", lag5.UDeviate, lag1.UDeviate)
+	}
+}
+
+func TestShortSightedValidation(t *testing.T) {
+	g := mustGame(t, 5, phy.Basic)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ShortSightedBest(ne, 1, 1); err == nil {
+		t.Error("δ=1 accepted")
+	}
+	if _, err := g.ShortSightedBest(ne, -0.1, 1); err == nil {
+		t.Error("δ<0 accepted")
+	}
+	if _, err := g.ShortSightedBest(ne, 0.5, 0); err == nil {
+		t.Error("lag 0 accepted")
+	}
+}
+
+func TestMaliciousImpact(t *testing.T) {
+	g := mustGame(t, 10, phy.Basic)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.MaliciousImpact(ne, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section V.E: after the TFT reaction drags everyone to the malicious
+	// CW, the global payoff is strictly below the NE. (The *transient*
+	// global can exceed the NE: a single hog plus passive peers collides
+	// less than n symmetric contenders, so only the post-convergence
+	// ordering is asserted.)
+	if res.GlobalCollapsed >= res.GlobalAtNE {
+		t.Errorf("collapsed global %g not below NE global %g", res.GlobalCollapsed, res.GlobalAtNE)
+	}
+	if res.GlobalCollapsed >= res.GlobalTransient {
+		t.Errorf("collapsed global %g not below transient %g", res.GlobalCollapsed, res.GlobalTransient)
+	}
+	if res.GlobalCollapsed > 0.8*res.GlobalAtNE {
+		t.Errorf("W=4 attack too mild: collapsed %g vs NE %g", res.GlobalCollapsed, res.GlobalAtNE)
+	}
+}
+
+// With frozen backoff (m = 0) a sufficiently small malicious CW drives the
+// post-convergence payoff negative: the paper's literal network paralysis.
+func TestMaliciousParalysisWithFrozenBackoff(t *testing.T) {
+	cfg := DefaultConfig(10, phy.Basic)
+	cfg.PHY.MaxBackoffStage = 0
+	g, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.MaliciousImpact(ne, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Paralyzed {
+		t.Errorf("W=1 with m=0 should paralyze the network: collapsed global = %g", res.GlobalCollapsed)
+	}
+	if res.GlobalCollapsed >= 0 {
+		t.Errorf("collapsed global = %g, want negative", res.GlobalCollapsed)
+	}
+}
+
+func TestMaliciousImpactMonotone(t *testing.T) {
+	g := mustGame(t, 10, phy.Basic)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	// Smaller malicious CW ⇒ worse post-collapse payoff.
+	for _, w := range []int{2, 8, 32, 128, ne.WStar} {
+		res, err := g.MaliciousImpact(ne, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if res.GlobalCollapsed < prev {
+			t.Errorf("collapsed payoff not increasing in W at w=%d: %g < %g", w, res.GlobalCollapsed, prev)
+		}
+		prev = res.GlobalCollapsed
+	}
+}
+
+func TestMaliciousImpactValidation(t *testing.T) {
+	g := mustGame(t, 5, phy.Basic)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.MaliciousImpact(ne, 0); err == nil {
+		t.Error("W=0 accepted")
+	}
+}
+
+func TestDeviationNeedsTwoPlayers(t *testing.T) {
+	g := mustGame(t, 1, phy.Basic)
+	if _, err := g.Deviation(5, 10); err == nil {
+		t.Fatal("single-player deviation accepted")
+	}
+}

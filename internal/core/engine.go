@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"selfishmac/internal/rng"
+)
+
+// ObservationNoise perturbs one observed CW value. The engine applies it
+// to every cross-player observation (a player always knows its own CW
+// exactly). The paper's GTFT exists precisely to tolerate such noise.
+type ObservationNoise func(r *rng.Source, trueCW int) int
+
+// StageRecord is one stage of a repeated-game trace.
+type StageRecord struct {
+	// Profile is the CW profile actually played.
+	Profile []int
+	// UtilityRates are the per-node utility rates u_i (per microsecond).
+	UtilityRates []float64
+	// Throughput is the normalized channel throughput of the stage.
+	Throughput float64
+}
+
+// Trace is the outcome of running the repeated game.
+type Trace struct {
+	// Stages holds one record per played stage.
+	Stages []StageRecord
+	// ConvergedAt is the first stage from which the profile is uniform
+	// and constant to the end of the run, or -1 if never.
+	ConvergedAt int
+	// ConvergedCW is the common CW after convergence (0 if none).
+	ConvergedCW int
+}
+
+// DiscountedUtility returns player i's total discounted utility over the
+// trace: Σ_k δ^k · u_i(k) · T.
+func (tr *Trace) DiscountedUtility(i int, discount, stageDuration float64) float64 {
+	var total, pow float64
+	pow = 1
+	for _, st := range tr.Stages {
+		total += pow * st.UtilityRates[i] * stageDuration
+		pow *= discount
+	}
+	return total
+}
+
+// FinalProfile returns the last played CW profile (nil for an empty trace).
+func (tr *Trace) FinalProfile() []int {
+	if len(tr.Stages) == 0 {
+		return nil
+	}
+	return tr.Stages[len(tr.Stages)-1].Profile
+}
+
+// Engine runs the repeated MAC game: each stage it collects every
+// player's CW from its strategy, solves the channel model for the stage,
+// records utilities, and feeds (possibly noisy) observations forward.
+type Engine struct {
+	game       *Game
+	strategies []Strategy
+	noise      ObservationNoise
+	src        *rng.Source
+	stopOnConv bool
+	convWindow int
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithNoise installs an observation-noise model.
+func WithNoise(noise ObservationNoise) EngineOption {
+	return func(e *Engine) { e.noise = noise }
+}
+
+// WithSeed seeds the engine's randomness (observation noise). The default
+// seed is 1.
+func WithSeed(seed uint64) EngineOption {
+	return func(e *Engine) { e.src = rng.New(seed) }
+}
+
+// WithStopOnConvergence makes Run return early once the profile has been
+// uniform and unchanged for window consecutive stages (window >= 1).
+func WithStopOnConvergence(window int) EngineOption {
+	return func(e *Engine) {
+		e.stopOnConv = true
+		if window >= 1 {
+			e.convWindow = window
+		}
+	}
+}
+
+// NewEngine builds an engine for the game with one strategy per player.
+func NewEngine(g *Game, strategies []Strategy, opts ...EngineOption) (*Engine, error) {
+	if g == nil {
+		return nil, errors.New("core: nil game")
+	}
+	if len(strategies) != g.N() {
+		return nil, fmt.Errorf("core: %d strategies for %d players", len(strategies), g.N())
+	}
+	for i, s := range strategies {
+		if s == nil {
+			return nil, fmt.Errorf("core: nil strategy for player %d", i)
+		}
+	}
+	e := &Engine{
+		game:       g,
+		strategies: strategies,
+		src:        rng.New(1),
+		convWindow: 3,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Run plays up to maxStages stages and returns the trace.
+func (e *Engine) Run(maxStages int) (*Trace, error) {
+	if maxStages < 1 {
+		return nil, fmt.Errorf("core: maxStages = %d must be >= 1", maxStages)
+	}
+	n := e.game.N()
+	trace := &Trace{ConvergedAt: -1}
+	// observedBy[i] is the history as seen by player i.
+	observedBy := make([][][]int, n)
+	utilitiesOf := make([][]float64, n)
+
+	uniformRun := 0 // consecutive trailing stages with one constant uniform profile
+	lastUniform := 0
+
+	for k := 0; k < maxStages; k++ {
+		profile := make([]int, n)
+		for i, s := range e.strategies {
+			w := s.ChooseCW(i, observedBy[i], utilitiesOf[i])
+			if w < 1 {
+				w = 1
+			}
+			if w > e.game.Config().WMax {
+				w = e.game.Config().WMax
+			}
+			profile[i] = w
+		}
+		sol, err := e.game.Model().Solve(profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: stage %d profile %v: %w", k, profile, err)
+		}
+		rates := e.game.UtilityRates(sol)
+		trace.Stages = append(trace.Stages, StageRecord{
+			Profile:      profile,
+			UtilityRates: rates,
+			Throughput:   sol.Throughput,
+		})
+
+		for i := range e.strategies {
+			obs := make([]int, n)
+			for j, w := range profile {
+				if i != j && e.noise != nil {
+					obs[j] = clampCW(e.noise(e.src, w), e.game.Config().WMax)
+				} else {
+					obs[j] = w
+				}
+			}
+			observedBy[i] = append(observedBy[i], obs)
+			utilitiesOf[i] = append(utilitiesOf[i], rates[i])
+		}
+
+		if uniform(profile) {
+			if uniformRun > 0 && profile[0] == lastUniform {
+				uniformRun++
+			} else {
+				uniformRun = 1
+			}
+			lastUniform = profile[0]
+		} else {
+			uniformRun = 0
+		}
+		if e.stopOnConv && uniformRun >= e.convWindow {
+			break
+		}
+	}
+
+	// Derive convergence from the tail of the trace.
+	if uniformRun > 0 {
+		trace.ConvergedAt = len(trace.Stages) - uniformRun
+		trace.ConvergedCW = lastUniform
+	}
+	return trace, nil
+}
+
+func uniform(profile []int) bool {
+	for _, w := range profile[1:] {
+		if w != profile[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func clampCW(w, wMax int) int {
+	if w < 1 {
+		return 1
+	}
+	if w > wMax {
+		return wMax
+	}
+	return w
+}

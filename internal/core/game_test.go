@@ -1,0 +1,506 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selfishmac/internal/num"
+	"selfishmac/internal/phy"
+	"selfishmac/internal/rng"
+)
+
+func mustGame(t testing.TB, n int, mode phy.AccessMode) *Game {
+	t.Helper()
+	g, err := NewGame(DefaultConfig(n, mode))
+	if err != nil {
+		t.Fatalf("NewGame: %v", err)
+	}
+	return g
+}
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	c := DefaultConfig(5, phy.Basic)
+	if c.Gain != 1 || c.Cost != 0.01 {
+		t.Errorf("g, e = %g, %g; want 1, 0.01", c.Gain, c.Cost)
+	}
+	if c.StageDuration != 10e6 {
+		t.Errorf("T = %g µs, want 1e7 (10 s)", c.StageDuration)
+	}
+	if c.Discount != 0.9999 {
+		t.Errorf("δ = %g, want 0.9999", c.Discount)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero players", func(c *Config) { c.N = 0 }},
+		{"bad mode", func(c *Config) { c.Mode = 0 }},
+		{"zero gain", func(c *Config) { c.Gain = 0 }},
+		{"negative cost", func(c *Config) { c.Cost = -0.1 }},
+		{"cost >= gain", func(c *Config) { c.Cost = 1 }},
+		{"zero stage", func(c *Config) { c.StageDuration = 0 }},
+		{"discount 1", func(c *Config) { c.Discount = 1 }},
+		{"negative discount", func(c *Config) { c.Discount = -0.1 }},
+		{"tiny wmax", func(c *Config) { c.WMax = 1 }},
+		{"bad phy", func(c *Config) { c.PHY.BitRate = 0 }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultConfig(5, phy.Basic)
+			tc.mut(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if _, err := NewGame(c); err == nil {
+				t.Fatalf("NewGame accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestUtilityRateSign(t *testing.T) {
+	// With the default backoff doubling (m = 6) even W = 1 nodes retreat
+	// after collisions, so the utility stays positive for small n; the
+	// negative-utility regime of Theorem 2's Wc0 appears when backoff
+	// cannot grow (m = 0) and aggressive nodes collide almost surely.
+	cfg := DefaultConfig(5, phy.Basic)
+	cfg.PHY.MaxBackoffStage = 0
+	g, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uLow, err := g.UniformUtilityRate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uLow >= 0 {
+		t.Errorf("m=0: u(W=1) = %g, want negative (certain collision)", uLow)
+	}
+	// Near the paper's Wc* utility must be positive (default m).
+	gDefault := mustGame(t, 5, phy.Basic)
+	uStar, err := gDefault.UniformUtilityRate(76)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uStar <= 0 {
+		t.Errorf("u(W=76) = %g, want positive", uStar)
+	}
+}
+
+func TestW0WithFrozenBackoff(t *testing.T) {
+	// With m = 0 the low-W region has negative utility, so Wc0 > 1 and
+	// the Theorem 2 sign characterisation is exercised non-trivially.
+	cfg := DefaultConfig(10, phy.Basic)
+	cfg.PHY.MaxBackoffStage = 0
+	g, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.W0 <= 1 {
+		t.Fatalf("W0 = %d, want > 1 in the frozen-backoff regime", ne.W0)
+	}
+	u0, _ := g.UniformUtilityRate(ne.W0)
+	uBelow, _ := g.UniformUtilityRate(ne.W0 - 1)
+	if u0 <= 0 || uBelow > 0 {
+		t.Errorf("W0=%d: u(W0)=%g (want >0), u(W0-1)=%g (want <=0)", ne.W0, u0, uBelow)
+	}
+}
+
+func TestUtilityUnimodalInW(t *testing.T) {
+	g := mustGame(t, 20, phy.Basic)
+	// Sample the utility curve and check single-peakedness.
+	var prev float64
+	rising := true
+	first := true
+	for w := 2; w <= 2000; w += 7 {
+		u, err := g.UniformUtilityRate(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first {
+			if rising && u < prev {
+				rising = false
+			} else if !rising && u > prev+1e-15 {
+				t.Fatalf("utility rose again at W=%d after the peak (u=%g > prev=%g)", w, u, prev)
+			}
+		}
+		prev, first = u, false
+	}
+	if rising {
+		t.Fatal("utility never peaked within the sampled range")
+	}
+}
+
+func TestFindEfficientNEBasic(t *testing.T) {
+	// Paper Table II: n=5 → 76, n=20 → 336, n=50 → 879 (basic access).
+	// Our exact fixed-point model lands within ~5% (see DESIGN.md).
+	cases := []struct {
+		n     int
+		paper int
+	}{
+		{5, 76}, {20, 336}, {50, 879},
+	}
+	for _, tc := range cases {
+		g := mustGame(t, tc.n, phy.Basic)
+		ne, err := g.FindEfficientNE()
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		rel := math.Abs(float64(ne.WStar-tc.paper)) / float64(tc.paper)
+		if rel > 0.08 {
+			t.Errorf("n=%d: Wc* = %d, paper %d (rel err %.3f)", tc.n, ne.WStar, tc.paper, rel)
+		}
+		if ne.UStar <= 0 {
+			t.Errorf("n=%d: UStar = %g, want positive", tc.n, ne.UStar)
+		}
+		if ne.W0 < 1 || ne.W0 > ne.WStar {
+			t.Errorf("n=%d: W0 = %d outside [1, %d]", tc.n, ne.W0, ne.WStar)
+		}
+		if ne.Count != ne.WStar-ne.W0+1 {
+			t.Errorf("n=%d: Count = %d, want %d", tc.n, ne.Count, ne.WStar-ne.W0+1)
+		}
+		// Wc0 definition: u(W0) > 0, u(W0-1) <= 0 (or W0 == 1).
+		u0, _ := g.UniformUtilityRate(ne.W0)
+		if u0 <= 0 {
+			t.Errorf("n=%d: u(W0=%d) = %g, want positive", tc.n, ne.W0, u0)
+		}
+		if ne.W0 > 1 {
+			uBelow, _ := g.UniformUtilityRate(ne.W0 - 1)
+			if uBelow > 0 {
+				t.Errorf("n=%d: u(W0-1=%d) = %g, want <= 0", tc.n, ne.W0-1, uBelow)
+			}
+		}
+	}
+}
+
+func TestFindPaperNERTSCTS(t *testing.T) {
+	// Paper Table III: n=20 → 48, n=50 → 116, via the theoretical (e << g)
+	// condition. (The paper's n=5 cell is 22; the model gives ~12 — see
+	// DESIGN.md. We assert the cells the model reproduces and the
+	// qualitative claim for n=5.)
+	cases := []struct {
+		n     int
+		paper int
+	}{
+		{20, 48}, {50, 116},
+	}
+	for _, tc := range cases {
+		g := mustGame(t, tc.n, phy.RTSCTS)
+		ne, err := g.FindPaperNE()
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		rel := math.Abs(float64(ne.WStar-tc.paper)) / float64(tc.paper)
+		if rel > 0.08 {
+			t.Errorf("n=%d: Wc* = %d, paper %d (rel err %.3f)", tc.n, ne.WStar, tc.paper, rel)
+		}
+	}
+	// Qualitative: RTS/CTS NE is far below basic for every n.
+	for _, n := range []int{5, 20, 50} {
+		neB, err := mustGame(t, n, phy.Basic).FindPaperNE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		neR, err := mustGame(t, n, phy.RTSCTS).FindPaperNE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if neR.WStar*4 > neB.WStar {
+			t.Errorf("n=%d: RTS/CTS Wc*=%d not far below basic Wc*=%d", n, neR.WStar, neB.WStar)
+		}
+	}
+}
+
+func TestFindPaperNEBasicMatchesTable2(t *testing.T) {
+	cases := []struct {
+		n     int
+		paper int
+	}{
+		{5, 76}, {20, 336}, {50, 879},
+	}
+	for _, tc := range cases {
+		g := mustGame(t, tc.n, phy.Basic)
+		ne, err := g.FindPaperNE()
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		rel := math.Abs(float64(ne.WStar-tc.paper)) / float64(tc.paper)
+		if rel > 0.05 {
+			t.Errorf("n=%d: paper-NE Wc* = %d, paper %d (rel err %.3f)", tc.n, ne.WStar, tc.paper, rel)
+		}
+	}
+}
+
+// The exact-utility argmax and the paper's theoretical NE must sit on the
+// same payoff plateau: the exact optimum's utility advantage over the
+// paper point is under 1%, even where the CW values differ noticeably
+// (RTS/CTS, where the plateau is extremely flat).
+func TestExactAndPaperNEOnSamePlateau(t *testing.T) {
+	for _, mode := range []phy.AccessMode{phy.Basic, phy.RTSCTS} {
+		for _, n := range []int{5, 20, 50} {
+			g := mustGame(t, n, mode)
+			exact, err := g.FindEfficientNE()
+			if err != nil {
+				t.Fatal(err)
+			}
+			paper, err := g.FindPaperNE()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact.UStar < paper.UStar-1e-18 {
+				t.Errorf("mode=%v n=%d: exact argmax utility %g below paper point %g", mode, n, exact.UStar, paper.UStar)
+			}
+			if drop := 1 - paper.UStar/exact.UStar; drop > 0.01 {
+				t.Errorf("mode=%v n=%d: paper NE utility %.4f below exact optimum (want < 1%%)", mode, n, drop)
+			}
+		}
+	}
+}
+
+// The paper-NE transmission probability must match the Appendix-B
+// Q-condition root (Lemma 3) tightly by construction; the exact-utility NE
+// must be within the cost-term-induced drift (~20%).
+func TestEfficientNEMatchesOptimalTau(t *testing.T) {
+	for _, mode := range []phy.AccessMode{phy.Basic, phy.RTSCTS} {
+		for _, n := range []int{5, 20, 50} {
+			g := mustGame(t, n, mode)
+			opt, err := g.Model().OptimalTau(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			paper, err := g.FindPaperNE()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(paper.TauStar-opt) / opt; rel > 0.02 {
+				t.Errorf("mode=%v n=%d: paper-NE tau = %g vs Q-root %g (rel %.3f)", mode, n, paper.TauStar, opt, rel)
+			}
+			exact, err := g.FindEfficientNE()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(exact.TauStar-opt) / opt; rel > 0.20 {
+				t.Errorf("mode=%v n=%d: exact-NE tau = %g vs Q-root %g (rel %.3f)", mode, n, exact.TauStar, opt, rel)
+			}
+		}
+	}
+}
+
+func TestNEGrowsWithN(t *testing.T) {
+	prev := 0
+	for _, n := range []int{3, 5, 10, 20, 40} {
+		g := mustGame(t, n, phy.Basic)
+		ne, err := g.FindEfficientNE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ne.WStar <= prev {
+			t.Fatalf("Wc* not increasing in n: n=%d gives %d, previous %d", n, ne.WStar, prev)
+		}
+		prev = ne.WStar
+	}
+}
+
+func TestIsUniformNE(t *testing.T) {
+	ne := NE{W0: 10, WStar: 100}
+	for _, tc := range []struct {
+		w    int
+		want bool
+	}{{9, false}, {10, true}, {50, true}, {100, true}, {101, false}} {
+		if got := ne.IsUniformNE(tc.w); got != tc.want {
+			t.Errorf("IsUniformNE(%d) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestRefinement(t *testing.T) {
+	g := mustGame(t, 5, phy.Basic)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := g.Refine(ne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Fair {
+		t.Error("uniform NE must be fair")
+	}
+	if ref.SocialWelfareMaximizer != ne.WStar || ref.Efficient != ne.WStar {
+		t.Errorf("refinement selected %d/%d, want Wc*=%d", ref.SocialWelfareMaximizer, ref.Efficient, ne.WStar)
+	}
+	// Only Wc* is Pareto optimal among the uniform NE.
+	if len(ref.ParetoOptimal) != 1 || ref.ParetoOptimal[0] != ne.WStar {
+		t.Errorf("Pareto-optimal set = %v, want [%d]", ref.ParetoOptimal, ne.WStar)
+	}
+}
+
+func TestNormalizedGlobalPayoff(t *testing.T) {
+	g := mustGame(t, 5, phy.Basic)
+	u, err := g.UniformUtilityRate(76)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := g.NormalizedGlobalPayoff(76)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 * u * 50 / 1 // n·u·σ/g
+	if math.Abs(norm-want) > 1e-15 {
+		t.Errorf("normalized payoff = %g, want %g", norm, want)
+	}
+	// U/C must be independent of T and δ by construction: recompute with
+	// different T, δ and compare.
+	cfg := DefaultConfig(5, phy.Basic)
+	cfg.StageDuration = 123456
+	cfg.Discount = 0.5
+	g2, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm2, err := g2.NormalizedGlobalPayoff(76)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(norm-norm2) > 1e-15 {
+		t.Errorf("U/C depends on T, δ: %g vs %g", norm, norm2)
+	}
+}
+
+// Figures 2-3 robustness claim: CW values near Wc* yield almost the same
+// payoff, especially under RTS/CTS.
+func TestNEPlateauRobustness(t *testing.T) {
+	for _, tc := range []struct {
+		mode    phy.AccessMode
+		n       int
+		spread  float64 // relative CW deviation tested
+		maxDrop float64 // tolerated relative payoff drop
+	}{
+		{phy.Basic, 20, 0.2, 0.05},
+		{phy.RTSCTS, 20, 0.5, 0.02}, // RTS/CTS plateau is much flatter
+	} {
+		g := mustGame(t, tc.n, tc.mode)
+		ne, err := g.FindEfficientNE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []float64{1 - tc.spread, 1 + tc.spread} {
+			w := int(float64(ne.WStar) * f)
+			u, err := g.UniformUtilityRate(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if drop := 1 - u/ne.UStar; drop > tc.maxDrop {
+				t.Errorf("mode=%v: payoff at W=%d drops %.3f from peak, want <= %.3f", tc.mode, w, drop, tc.maxDrop)
+			}
+		}
+	}
+}
+
+// Lemma 2: the deviator's utility is concave in its own tau when g >> e.
+func TestLemma2ConcavityProperty(t *testing.T) {
+	g := mustGame(t, 10, phy.Basic)
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		tauOther := r.UniformRange(0.001, 0.2)
+		u := func(tau float64) float64 { return g.DeviatorUtilityOfTau(tau, tauOther) }
+		for i := 0; i < 20; i++ {
+			tau := r.UniformRange(0.01, 0.9)
+			if num.SecondDerivative(u, tau) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviatorUtilityMatchesSolver(t *testing.T) {
+	// DeviatorUtilityOfTau at the *solved* taus must reproduce the
+	// solver's utility for the deviator.
+	g := mustGame(t, 10, phy.Basic)
+	sol, err := g.Model().SolveDeviation(50, 300, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := g.DeviatorUtilityOfTau(sol.Tau[0], sol.Tau[1])
+	fromSolver := g.UtilityRate(sol, 0)
+	if math.Abs(direct-fromSolver) > 1e-12 {
+		t.Errorf("direct utility %g != solver utility %g", direct, fromSolver)
+	}
+}
+
+func TestProfileUtilities(t *testing.T) {
+	g := mustGame(t, 3, phy.Basic)
+	us, err := g.ProfileUtilities([]int{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != 3 || us[0] != us[1] || us[1] != us[2] {
+		t.Fatalf("uniform profile utilities not equal: %v", us)
+	}
+	if _, err := g.ProfileUtilities([]int{1, 2}); err == nil {
+		t.Fatal("wrong-length profile accepted")
+	}
+}
+
+func TestDiscountedConstant(t *testing.T) {
+	g := mustGame(t, 2, phy.Basic)
+	// δ = 0.9999 → 1/(1-δ) = 10000.
+	if got := g.DiscountedConstant(1); math.Abs(got-10000) > 1e-6 {
+		t.Errorf("DiscountedConstant(1) = %g, want 10000", got)
+	}
+}
+
+func TestStageUtility(t *testing.T) {
+	g := mustGame(t, 5, phy.Basic)
+	sol, err := g.Model().SolveUniform(76, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := g.UtilityRate(sol, 0)
+	if want := rate * 10e6; math.Abs(g.StageUtility(sol, 0)-want) > 1e-12 {
+		t.Errorf("StageUtility = %g, want %g", g.StageUtility(sol, 0), want)
+	}
+}
+
+func TestFindEfficientNERejectsSinglePlayer(t *testing.T) {
+	g := mustGame(t, 1, phy.Basic)
+	if _, err := g.FindEfficientNE(); err == nil {
+		t.Fatal("single-player NE computation accepted")
+	}
+}
+
+func TestFindEfficientNEWMaxBound(t *testing.T) {
+	cfg := DefaultConfig(50, phy.Basic)
+	cfg.WMax = 100 // far below the n=50 optimum (~850)
+	g, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.FindEfficientNE(); err == nil {
+		t.Fatal("NE at the WMax bound must be reported as an error")
+	}
+}
+
+func BenchmarkFindEfficientNE20(b *testing.B) {
+	g := mustGame(b, 20, phy.Basic)
+	for i := 0; i < b.N; i++ {
+		if _, err := g.FindEfficientNE(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import "fmt"
+
+// GrimTrigger cooperates at Initial until any player is ever observed
+// below Tolerance times its own CW, then punishes forever at PunishCW.
+// It is the classic folk-theorem enforcement strategy; compared with TFT
+// it deters deviation at least as strongly but — unlike TFT — never
+// recovers, so a single observation glitch destroys the network
+// permanently. The A5 experiment quantifies that contrast.
+type GrimTrigger struct {
+	// Initial is the cooperative CW.
+	Initial int
+	// PunishCW is the permanent punishment CW (typically very small).
+	PunishCW int
+	// Tolerance in (0, 1]: trigger when some observed CW falls below
+	// Tolerance * Initial. Zero means an exact-match trigger (1.0).
+	Tolerance float64
+}
+
+var _ Strategy = GrimTrigger{}
+
+// Name implements Strategy.
+func (s GrimTrigger) Name() string {
+	return fmt.Sprintf("grim(W0=%d,punish=%d,tol=%g)", s.Initial, s.PunishCW, s.tol())
+}
+
+func (s GrimTrigger) tol() float64 {
+	if s.Tolerance <= 0 || s.Tolerance > 1 {
+		return 1
+	}
+	return s.Tolerance
+}
+
+// ChooseCW implements Strategy. The trigger scans the whole observed
+// history, which makes the strategy stateless-per-instance (safe to copy)
+// at O(stages · n) per decision — fine at the game's stage counts.
+func (s GrimTrigger) ChooseCW(self int, observed [][]int, _ []float64) int {
+	if len(observed) == 0 {
+		return s.Initial
+	}
+	threshold := s.tol() * float64(s.Initial)
+	for _, profile := range observed {
+		for j, w := range profile {
+			if j == self {
+				continue
+			}
+			if float64(w) < threshold {
+				return s.punish()
+			}
+		}
+	}
+	return s.Initial
+}
+
+func (s GrimTrigger) punish() int {
+	if s.PunishCW < 1 {
+		return 1
+	}
+	return s.PunishCW
+}
+
+// Deviant plays Deviation for the first Stages stages and Base forever
+// after — the Section V.D short-sighted player realized as an engine
+// strategy, so its analytic payoff formula can be validated against an
+// actual repeated-game trace.
+type Deviant struct {
+	// Deviation and Base are the two CW values.
+	Deviation, Base int
+	// Stages is how long the deviation lasts.
+	Stages int
+}
+
+var _ Strategy = Deviant{}
+
+// Name implements Strategy.
+func (d Deviant) Name() string {
+	return fmt.Sprintf("deviant(W=%d for %d stages, then %d)", d.Deviation, d.Stages, d.Base)
+}
+
+// ChooseCW implements Strategy.
+func (d Deviant) ChooseCW(_ int, observed [][]int, _ []float64) int {
+	if len(observed) < d.Stages {
+		return d.Deviation
+	}
+	return d.Base
+}

@@ -1,0 +1,213 @@
+// Package detect implements the observation machinery the paper assumes:
+// "How to observe CW values in saturated networks is addressed in [3]"
+// (Kyasanur & Vaidya, DSN 2003). TFT needs each node to know its peers'
+// contention windows; this package recovers them from what a node in
+// promiscuous mode can actually count — who transmitted in each virtual
+// slot — and flags misbehavers.
+//
+// The estimator inverts the stationary model: a peer observed attempting
+// a fraction τ̂ of virtual slots, facing collision probability p̂ (computed
+// from the *other* peers' observed attempt rates via eq. 3), must be
+// operating on
+//
+//	Ŵ = (2/τ̂ − 1) / (1 + p̂·Σ_{r=0}^{m-1}(2p̂)^r)
+//
+// which is eq. (2) solved for W. Estimation error shrinks as 1/√slots.
+//
+// Detector semantics follow GTFT's tolerance: a node is flagged when its
+// estimated CW falls below Beta times the expected CW.
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfishmac/internal/macsim"
+	"selfishmac/internal/num"
+)
+
+// Observation is what a promiscuous observer counts for one peer over a
+// measurement window.
+type Observation struct {
+	// Attempts is the number of virtual slots in which the peer
+	// transmitted (successes and collisions both count — the observer
+	// hears the preamble either way).
+	Attempts int64
+	// Slots is the number of virtual slots observed.
+	Slots int64
+}
+
+// Tau returns the observed per-slot transmission probability.
+func (o Observation) Tau() (float64, error) {
+	if o.Slots <= 0 {
+		return 0, errors.New("detect: observation covers no slots")
+	}
+	if o.Attempts < 0 || o.Attempts > o.Slots {
+		return 0, fmt.Errorf("detect: %d attempts in %d slots", o.Attempts, o.Slots)
+	}
+	return float64(o.Attempts) / float64(o.Slots), nil
+}
+
+// EstimateCW inverts eq. (2): given a peer's observed tau and the
+// collision probability p it faces, return the CW it must be operating
+// on. maxStage is the backoff cap m. Returns an error for degenerate
+// observations (tau outside (0, 1)).
+func EstimateCW(tau, p float64, maxStage int) (float64, error) {
+	if tau <= 0 || tau >= 1 {
+		return 0, fmt.Errorf("detect: observed tau %g outside (0, 1)", tau)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("detect: collision probability %g outside [0, 1]", p)
+	}
+	if maxStage < 0 {
+		return 0, fmt.Errorf("detect: negative max stage %d", maxStage)
+	}
+	denom := 1 + p*num.GeomSeriesSum(2*p, maxStage)
+	w := (2/tau - 1) / denom
+	if w < 1 {
+		w = 1
+	}
+	return w, nil
+}
+
+// Estimate is one peer's recovered operating point.
+type Estimate struct {
+	// Node is the peer index.
+	Node int
+	// Tau and P are the observed transmission and inferred collision
+	// probabilities.
+	Tau float64
+	P   float64
+	// CW is the estimated contention window.
+	CW float64
+}
+
+// EstimateAll recovers every peer's CW from a full observation vector
+// (one Observation per node, all over the same window). The collision
+// probability each node faces is computed from the *other* nodes'
+// observed taus via eq. (3).
+func EstimateAll(obs []Observation, maxStage int) ([]Estimate, error) {
+	n := len(obs)
+	if n == 0 {
+		return nil, errors.New("detect: no observations")
+	}
+	taus := make([]float64, n)
+	for i, o := range obs {
+		tau, err := o.Tau()
+		if err != nil {
+			return nil, fmt.Errorf("detect: node %d: %w", i, err)
+		}
+		taus[i] = tau
+	}
+	out := make([]Estimate, n)
+	for i := range obs {
+		p := 1.0
+		for j, tj := range taus {
+			if j != i {
+				p *= 1 - tj
+			}
+		}
+		p = 1 - p
+		if taus[i] <= 0 || taus[i] >= 1 {
+			return nil, fmt.Errorf("detect: node %d has degenerate tau %g", i, taus[i])
+		}
+		w, err := EstimateCW(taus[i], p, maxStage)
+		if err != nil {
+			return nil, fmt.Errorf("detect: node %d: %w", i, err)
+		}
+		out[i] = Estimate{Node: i, Tau: taus[i], P: p, CW: w}
+	}
+	return out, nil
+}
+
+// FromSimResult converts a simulator run into the observation vector a
+// promiscuous node would have collected.
+func FromSimResult(res *macsim.Result) []Observation {
+	out := make([]Observation, len(res.Nodes))
+	for i, nd := range res.Nodes {
+		out[i] = Observation{Attempts: nd.Attempts, Slots: res.Slots}
+	}
+	return out
+}
+
+// Detector flags peers whose estimated CW undercuts the expected value
+// beyond a tolerance, mirroring GTFT's trigger condition.
+type Detector struct {
+	// ExpectedCW is the CW conforming nodes should operate on (e.g. the
+	// announced efficient NE).
+	ExpectedCW int
+	// Beta is the tolerance in (0, 1]: flag when Ŵ < Beta·ExpectedCW.
+	Beta float64
+	// MinSlots is the smallest observation window accepted; shorter
+	// windows are too noisy to act on (estimation error ~ 1/sqrt(slots)).
+	MinSlots int64
+}
+
+// Validate checks the detector configuration.
+func (d Detector) Validate() error {
+	var errs []error
+	if d.ExpectedCW < 1 {
+		errs = append(errs, fmt.Errorf("expected CW %d < 1", d.ExpectedCW))
+	}
+	if d.Beta <= 0 || d.Beta > 1 {
+		errs = append(errs, fmt.Errorf("beta %g outside (0, 1]", d.Beta))
+	}
+	if d.MinSlots < 0 {
+		errs = append(errs, errors.New("negative MinSlots"))
+	}
+	return errors.Join(errs...)
+}
+
+// Verdict is the per-node detection outcome.
+type Verdict struct {
+	Estimate
+	// Misbehaving is true when the estimated CW undercuts
+	// Beta * ExpectedCW.
+	Misbehaving bool
+	// Margin is EstimatedCW / ExpectedCW (how far from conformance).
+	Margin float64
+}
+
+// Inspect estimates every peer's CW and applies the tolerance test. It
+// returns an error when the window is shorter than MinSlots.
+func (d Detector) Inspect(obs []Observation, maxStage int) ([]Verdict, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("detect: invalid detector: %w", err)
+	}
+	for i, o := range obs {
+		if o.Slots < d.MinSlots {
+			return nil, fmt.Errorf("detect: node %d observed over %d slots, need >= %d", i, o.Slots, d.MinSlots)
+		}
+	}
+	ests, err := EstimateAll(obs, maxStage)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verdict, len(ests))
+	threshold := d.Beta * float64(d.ExpectedCW)
+	for i, e := range ests {
+		out[i] = Verdict{
+			Estimate:    e,
+			Misbehaving: e.CW < threshold,
+			Margin:      e.CW / float64(d.ExpectedCW),
+		}
+	}
+	return out, nil
+}
+
+// RequiredSlots estimates how many virtual slots an observer needs for a
+// relative CW-estimation error of at most relErr at confidence ~95%, for
+// a peer transmitting with probability tau. The attempt count is
+// Binomial(slots, tau); the relative error of τ̂ (and, to first order, of
+// Ŵ) is ≈ 2·sqrt((1−tau)/(slots·tau)).
+func RequiredSlots(tau, relErr float64) (int64, error) {
+	if tau <= 0 || tau >= 1 {
+		return 0, fmt.Errorf("detect: tau %g outside (0, 1)", tau)
+	}
+	if relErr <= 0 {
+		return 0, fmt.Errorf("detect: relErr %g must be positive", relErr)
+	}
+	slots := 4 * (1 - tau) / (tau * relErr * relErr)
+	return int64(math.Ceil(slots)), nil
+}

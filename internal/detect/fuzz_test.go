@@ -1,0 +1,49 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"selfishmac/internal/bianchi"
+	"selfishmac/internal/phy"
+)
+
+// FuzzEstimateCWRoundTrip drives the model inversion with arbitrary
+// (w, p, m) triples: Tau followed by EstimateCW must reproduce w, and the
+// estimator must never return less than 1 or NaN.
+func FuzzEstimateCWRoundTrip(f *testing.F) {
+	f.Add(76, 0.1, 6)
+	f.Add(1, 0.0, 0)
+	f.Add(4096, 0.99, 8)
+	f.Add(336, 0.5, 6) // the closed form's singular point
+	tm := phy.Default().MustTiming(phy.Basic)
+	f.Fuzz(func(t *testing.T, w int, p float64, m int) {
+		if w < 1 || w > 1<<20 {
+			t.Skip()
+		}
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Skip()
+		}
+		if m < 0 || m > 16 {
+			t.Skip()
+		}
+		model, err := bianchi.New(tm, m)
+		if err != nil {
+			t.Skip()
+		}
+		tau := model.Tau(w, p)
+		if tau <= 0 || tau >= 1 {
+			t.Skip() // degenerate corner (huge w underflows)
+		}
+		got, err := EstimateCW(tau, p, m)
+		if err != nil {
+			t.Fatalf("EstimateCW(%g, %g, %d): %v", tau, p, m, err)
+		}
+		if math.IsNaN(got) || got < 1 {
+			t.Fatalf("estimate %g invalid", got)
+		}
+		if rel := math.Abs(got-float64(w)) / float64(w); rel > 1e-6 {
+			t.Fatalf("round trip w=%d p=%g m=%d gave %g (rel %g)", w, p, m, got, rel)
+		}
+	})
+}

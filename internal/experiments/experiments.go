@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VII), plus the numerical analyses behind its
+// analytical sections (short-sighted and malicious players, the NE search
+// algorithm, TFT/GTFT convergence, and the lemma orderings).
+//
+// Each experiment returns a Report: a human-readable text rendering, CSV
+// artifacts with the full series, and a flat metric map that EXPERIMENTS.md
+// summarizes against the paper's numbers. cmd/experiments writes them all
+// under results/.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Artifact is one named output file (content already rendered).
+type Artifact struct {
+	// Name is the file name (relative, e.g. "table2.csv").
+	Name string
+	// Content is the full file body.
+	Content string
+}
+
+// Report is one experiment's complete output.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "T2", "F3").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Text is the human-readable rendering (tables/charts).
+	Text string
+	// Artifacts carries CSV (and other) outputs.
+	Artifacts []Artifact
+	// Metrics holds the headline numbers keyed by stable names.
+	Metrics map[string]float64
+}
+
+// Metric records one value, creating the map on first use.
+func (r *Report) Metric(key string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[key] = v
+}
+
+// MetricsSummary renders the metrics sorted by key.
+func (r *Report) MetricsSummary() string {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s = %.6g\n", k, r.Metrics[k])
+	}
+	return b.String()
+}
+
+// Settings tunes how heavy the simulations behind the reports are. The
+// zero value is unusable; use DefaultSettings (paper-faithful, minutes of
+// CPU) or QuickSettings (seconds, for tests).
+type Settings struct {
+	// SingleHopSimTime is the per-operating-point simulated time for the
+	// single-hop NE tables, in microseconds (paper: 1000 s).
+	SingleHopSimTime float64
+	// MultihopSimTime is the per-operating-point simulated time of the
+	// spatial simulator, in microseconds.
+	MultihopSimTime float64
+	// MultihopReplicas averages spatial runs over this many seeds.
+	MultihopReplicas int
+	// MultihopNodes scales the Section VII.B scenario (paper: 100).
+	MultihopNodes int
+	// FigurePoints is the number of CW values per figure series.
+	FigurePoints int
+	// Seed drives every stochastic component.
+	Seed uint64
+}
+
+// DefaultSettings reproduces the paper's scales (1000 s single-hop
+// simulations, the 100-node mobile scenario).
+func DefaultSettings() Settings {
+	return Settings{
+		SingleHopSimTime: 1000e6,
+		MultihopSimTime:  60e6,
+		MultihopReplicas: 3,
+		MultihopNodes:    100,
+		FigurePoints:     60,
+		Seed:             1,
+	}
+}
+
+// QuickSettings is a fast profile for tests and smoke runs.
+func QuickSettings() Settings {
+	return Settings{
+		SingleHopSimTime: 30e6,
+		MultihopSimTime:  4e6,
+		MultihopReplicas: 1,
+		MultihopNodes:    40,
+		FigurePoints:     25,
+		Seed:             1,
+	}
+}
+
+// Validate rejects unusable settings.
+func (s Settings) Validate() error {
+	if s.SingleHopSimTime <= 0 || s.MultihopSimTime <= 0 {
+		return fmt.Errorf("experiments: non-positive sim times %g/%g", s.SingleHopSimTime, s.MultihopSimTime)
+	}
+	if s.MultihopReplicas < 1 {
+		return fmt.Errorf("experiments: replicas %d < 1", s.MultihopReplicas)
+	}
+	if s.MultihopNodes < 2 {
+		return fmt.Errorf("experiments: %d multihop nodes < 2", s.MultihopNodes)
+	}
+	if s.FigurePoints < 5 {
+		return fmt.Errorf("experiments: %d figure points < 5", s.FigurePoints)
+	}
+	return nil
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Settings) (*Report, error)
+}
+
+// All lists every experiment in DESIGN.md order.
+func All() []Runner {
+	return []Runner{
+		{"T1", "Table I: network parameters", Table1},
+		{"T2", "Table II: efficient NE, basic access", Table2},
+		{"T3", "Table III: efficient NE, RTS/CTS", Table3},
+		{"F2", "Figure 2: global payoff vs CW, basic", Figure2},
+		{"F3", "Figure 3: global payoff vs CW, RTS/CTS", Figure3},
+		{"M1", "Multi-hop quasi-optimality (Section VII.B)", MultihopQuasiOptimality},
+		{"M2", "Hidden-node factor invariance (Section VI.A)", HiddenNodeInvariance},
+		{"A1", "Efficient-NE search algorithm (Section V.C)", SearchAlgorithm},
+		{"A2", "Short-sighted players (Section V.D)", ShortSighted},
+		{"A3", "Malicious players (Section V.E)", Malicious},
+		{"A4", "Lemma 1 & 4 orderings", LemmaChecks},
+		{"A5", "TFT/GTFT convergence", TFTConvergence},
+		{"A6", "Ablation: maximum backoff stage m", BackoffStageAblation},
+		{"A7", "Ablation: transmission-cost term e", CostTermAblation},
+		{"A8", "Population mix: myopic deviators among TFT players", PopulationMix},
+		{"R1", "Extension: packet-size (rate-control) game", RateControl},
+		{"D1", "Extension: CW misbehavior detection", Detection},
+		{"D2", "Closed loop: TFT driven by estimated observations", ClosedLoop},
+		{"D3", "GTFT tolerance vs reaction-time trade-off", GTFTTradeoff},
+		{"X1", "Section VIII: access delay at the NE", DelayAnalysis},
+	}
+}

@@ -1,0 +1,167 @@
+package multihop
+
+import (
+	"errors"
+	"fmt"
+
+	"selfishmac/internal/core"
+)
+
+// Engine plays the multi-hop repeated game G' dynamically: each stage
+// every node picks a CW through a core.Strategy, the spatial simulator
+// measures one stage of payoffs, and each node observes its *neighbors'*
+// CW values (the paper's promiscuous-mode assumption, now local).
+//
+// Strategies are reused from the single-hop game under a local-view
+// convention: the observation vector a node receives each stage is
+// [own CW, neighbor CWs...] with itself at index 0, so TFT's
+// min-of-last-stage and GTFT's windowed tolerance work unchanged on the
+// neighborhood. Theorem 3's claim — TFT converges to Wm = min_i W_i —
+// becomes a measurable dynamic here rather than a graph iteration.
+type Engine struct {
+	nw         Topology
+	strategies []core.Strategy
+	sim        SimConfig
+	stopWindow int
+}
+
+// StageRecord is one stage of the multi-hop trace.
+type StageRecord struct {
+	// Profile is the CW profile played this stage.
+	Profile []int
+	// PayoffRates are the measured per-node payoff rates.
+	PayoffRates []float64
+	// HiddenFraction is the stage's hidden-terminal loss fraction.
+	HiddenFraction float64
+}
+
+// Trace is the outcome of a multi-hop run.
+type Trace struct {
+	// Stages holds one record per stage.
+	Stages []StageRecord
+	// ConvergedAt is the first stage from which the profile is uniform
+	// and constant to the end (−1 if never), ConvergedCW the common CW.
+	ConvergedAt int
+	ConvergedCW int
+}
+
+// FinalProfile returns the last played profile (nil for empty traces).
+func (tr *Trace) FinalProfile() []int {
+	if len(tr.Stages) == 0 {
+		return nil
+	}
+	return tr.Stages[len(tr.Stages)-1].Profile
+}
+
+// NewEngine builds a multi-hop engine. sim.CW is ignored (profiles come
+// from the strategies); sim.Duration is the stage length T.
+func NewEngine(nw Topology, strategies []core.Strategy, sim SimConfig) (*Engine, error) {
+	if nw == nil {
+		return nil, errors.New("multihop: nil network")
+	}
+	if len(strategies) != nw.N() {
+		return nil, fmt.Errorf("multihop: %d strategies for %d nodes", len(strategies), nw.N())
+	}
+	for i, s := range strategies {
+		if s == nil {
+			return nil, fmt.Errorf("multihop: nil strategy for node %d", i)
+		}
+	}
+	probe := sim
+	probe.CW = make([]int, nw.N())
+	for i := range probe.CW {
+		probe.CW[i] = 16
+	}
+	if err := probe.validate(nw.N()); err != nil {
+		return nil, fmt.Errorf("multihop: invalid stage sim config: %w", err)
+	}
+	return &Engine{nw: nw, strategies: strategies, sim: sim, stopWindow: 0}, nil
+}
+
+// WithStopWindow makes Run stop early after the profile has been uniform
+// and constant for window consecutive stages.
+func (e *Engine) WithStopWindow(window int) *Engine {
+	if window >= 1 {
+		e.stopWindow = window
+	}
+	return e
+}
+
+// Run plays up to maxStages stages.
+func (e *Engine) Run(maxStages int) (*Trace, error) {
+	if maxStages < 1 {
+		return nil, fmt.Errorf("multihop: maxStages = %d must be >= 1", maxStages)
+	}
+	n := e.nw.N()
+	adj := e.nw.AdjacencyLists()
+	trace := &Trace{ConvergedAt: -1}
+	observedBy := make([][][]int, n)
+	utilitiesOf := make([][]float64, n)
+
+	uniformRun, lastUniform := 0, 0
+	for k := 0; k < maxStages; k++ {
+		profile := make([]int, n)
+		for i, s := range e.strategies {
+			w := s.ChooseCW(0, observedBy[i], utilitiesOf[i])
+			if w < 1 {
+				w = 1
+			}
+			profile[i] = w
+		}
+
+		sim := e.sim
+		sim.CW = profile
+		sim.Seed = e.sim.Seed + uint64(k)*0x9e3779b97f4a7c15
+		res, err := Simulate(e.nw, sim)
+		if err != nil {
+			return nil, fmt.Errorf("multihop: stage %d: %w", k, err)
+		}
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = res.Nodes[i].PayoffRate
+		}
+		trace.Stages = append(trace.Stages, StageRecord{
+			Profile:        profile,
+			PayoffRates:    rates,
+			HiddenFraction: res.HiddenFraction,
+		})
+
+		for i := range e.strategies {
+			local := make([]int, 0, 1+len(adj[i]))
+			local = append(local, profile[i])
+			for _, j := range adj[i] {
+				local = append(local, profile[j])
+			}
+			observedBy[i] = append(observedBy[i], local)
+			utilitiesOf[i] = append(utilitiesOf[i], rates[i])
+		}
+
+		if uniformProfile(profile) {
+			if uniformRun > 0 && profile[0] == lastUniform {
+				uniformRun++
+			} else {
+				uniformRun = 1
+			}
+			lastUniform = profile[0]
+		} else {
+			uniformRun = 0
+		}
+		if e.stopWindow > 0 && uniformRun >= e.stopWindow {
+			break
+		}
+	}
+	if uniformRun > 0 {
+		trace.ConvergedAt = len(trace.Stages) - uniformRun
+		trace.ConvergedCW = lastUniform
+	}
+	return trace, nil
+}
+
+func uniformProfile(p []int) bool {
+	for _, w := range p[1:] {
+		if w != p[0] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,309 @@
+// Package multihop implements the paper's Section VI: the MAC game G' on
+// multi-hop wireless mobile ad hoc networks.
+//
+// It contains two cooperating pieces:
+//
+//   - A slot-synchronous spatial DCF simulator with carrier sensing and
+//     hidden-terminal collisions (this file). Unlike the single-hop
+//     simulator, channel state is local: a node freezes its backoff while
+//     any neighbor transmits, and a transmission i→r fails if any other
+//     node in range of r — including nodes hidden from i — transmits
+//     concurrently. The simulator measures the hidden-node degradation
+//     factor p_hn that the paper's adapted utility function uses.
+//
+//   - The game layer (game.go): per-node local efficient-NE CW selection,
+//     TFT convergence to Wm = min_i W_i (Theorem 3), and the
+//     quasi-optimality measurements of Section VII.B.
+package multihop
+
+import (
+	"errors"
+	"fmt"
+
+	"selfishmac/internal/phy"
+	"selfishmac/internal/rng"
+)
+
+// Topology is the read view of a network the spatial simulator needs.
+// *topology.Network implements it; tests may substitute fixed graphs.
+type Topology interface {
+	// N is the node count.
+	N() int
+	// AdjacencyLists returns every node's neighbor list.
+	AdjacencyLists() [][]int
+	// IsLink reports whether i and j are within range.
+	IsLink(i, j int) bool
+}
+
+// MobileTopology additionally supports advancing a mobility model.
+type MobileTopology interface {
+	Topology
+	// Step advances mobility by dt seconds.
+	Step(dt float64) error
+}
+
+// SimConfig parameterises one spatial simulation run.
+type SimConfig struct {
+	// Timing carries sigma, Ts, Tc, E[P]; the paper's multi-hop analysis
+	// uses the RTS/CTS mechanism.
+	Timing phy.Timing
+	// MaxStage is the backoff-doubling cap m.
+	MaxStage int
+	// CW is the per-node initial contention window.
+	CW []int
+	// Duration is simulated time in microseconds.
+	Duration float64
+	// Seed drives the deterministic PRNG.
+	Seed uint64
+	// Gain and Cost are g and e for the measured payoff.
+	Gain float64
+	Cost float64
+	// MobilityStep, when positive, advances the random-waypoint model by
+	// this many seconds of mobility every simulated second of MAC time
+	// ... (the paper's scenario is slow — max 5 m/s — so topology changes
+	// on a much slower timescale than backoff; the simulator re-snapshots
+	// the graph every MobilityEvery microseconds of MAC time).
+	MobilityEvery float64
+}
+
+// Validate checks the configuration against the network size.
+func (c SimConfig) validate(n int) error {
+	var errs []error
+	if len(c.CW) != n {
+		errs = append(errs, fmt.Errorf("CW profile has %d entries for %d nodes", len(c.CW), n))
+	}
+	for i, w := range c.CW {
+		if w < 1 {
+			errs = append(errs, fmt.Errorf("node %d CW %d < 1", i, w))
+		}
+	}
+	if c.Duration <= 0 {
+		errs = append(errs, fmt.Errorf("duration %g must be positive", c.Duration))
+	}
+	if c.MaxStage < 0 || c.MaxStage > 16 {
+		errs = append(errs, fmt.Errorf("max backoff stage %d outside [0, 16]", c.MaxStage))
+	}
+	if c.Timing.Slot <= 0 || c.Timing.Ts <= 0 || c.Timing.Tc <= 0 {
+		errs = append(errs, fmt.Errorf("non-positive timing %+v", c.Timing))
+	}
+	if c.Gain < 0 || c.Cost < 0 {
+		errs = append(errs, errors.New("gain and cost must be non-negative"))
+	}
+	if c.MobilityEvery < 0 {
+		errs = append(errs, errors.New("MobilityEvery must be non-negative"))
+	}
+	return errors.Join(errs...)
+}
+
+// NodeStats aggregates one node's spatial-simulation outcome.
+type NodeStats struct {
+	// Attempts, Successes, Collisions count this node's transmissions.
+	Attempts   int64
+	Successes  int64
+	Collisions int64
+	// HiddenCollisions counts failures caused *only* by transmitters the
+	// sender could not sense (the hidden-terminal component).
+	HiddenCollisions int64
+	// PayoffRate is (successes·g − attempts·e)/time per microsecond.
+	PayoffRate float64
+}
+
+// MeasuredPHN returns the per-node hidden-node survival factor: the
+// fraction of transmissions *not* lost to hidden terminals, conditioned on
+// attempts (1 when the node never transmitted).
+func (s NodeStats) MeasuredPHN() float64 {
+	if s.Attempts == 0 {
+		return 1
+	}
+	return 1 - float64(s.HiddenCollisions)/float64(s.Attempts)
+}
+
+// SimResult is the outcome of a spatial run.
+type SimResult struct {
+	// Nodes holds per-node statistics.
+	Nodes []NodeStats
+	// Time is the simulated time in microseconds.
+	Time float64
+	// Slots is the number of global slots stepped.
+	Slots int64
+	// HiddenFraction is total hidden-terminal losses over total attempts.
+	HiddenFraction float64
+}
+
+// GlobalPayoffRate sums the per-node payoff rates.
+func (r *SimResult) GlobalPayoffRate() float64 {
+	var sum float64
+	for _, n := range r.Nodes {
+		sum += n.PayoffRate
+	}
+	return sum
+}
+
+// MeanPayoffRate is GlobalPayoffRate / n.
+func (r *SimResult) MeanPayoffRate() float64 {
+	if len(r.Nodes) == 0 {
+		return 0
+	}
+	return r.GlobalPayoffRate() / float64(len(r.Nodes))
+}
+
+type spatialNode struct {
+	cw        int
+	stage     int
+	counter   int
+	busyUntil int64 // first slot at which the local channel is idle again
+	txUntil   int64 // first slot at which this node's own tx is done
+}
+
+func (n *spatialNode) draw(r *rng.Source, maxStage int) {
+	n.counter = r.Intn(n.cw << n.stage)
+}
+
+// Simulate runs the spatial DCF over the network's *current* topology
+// snapshot (advancing mobility every MobilityEvery microseconds when
+// configured; the network is mutated in that case and must implement
+// MobileTopology).
+func Simulate(nw Topology, cfg SimConfig) (*SimResult, error) {
+	n := nw.N()
+	if err := cfg.validate(n); err != nil {
+		return nil, fmt.Errorf("multihop: invalid sim config: %w", err)
+	}
+	var mobile MobileTopology
+	if cfg.MobilityEvery > 0 {
+		var ok bool
+		if mobile, ok = nw.(MobileTopology); !ok {
+			return nil, errors.New("multihop: MobilityEvery set but the topology is immobile")
+		}
+	}
+	src := rng.New(cfg.Seed)
+	nodes := make([]spatialNode, n)
+	for i := range nodes {
+		nodes[i] = spatialNode{cw: cfg.CW[i]}
+		nodes[i].draw(src, cfg.MaxStage)
+	}
+	adj := nw.AdjacencyLists()
+
+	res := &SimResult{Nodes: make([]NodeStats, n)}
+	tsSlots := int64(cfg.Timing.SlotsCeil(cfg.Timing.Ts))
+	tcSlots := int64(cfg.Timing.SlotsCeil(cfg.Timing.Tc))
+	totalSlots := int64(cfg.Duration / cfg.Timing.Slot)
+	if totalSlots < 1 {
+		totalSlots = 1
+	}
+	var nextMobility int64 = -1
+	var mobilityEverySlots int64
+	if cfg.MobilityEvery > 0 {
+		mobilityEverySlots = int64(cfg.MobilityEvery / cfg.Timing.Slot)
+		if mobilityEverySlots < 1 {
+			mobilityEverySlots = 1
+		}
+		nextMobility = mobilityEverySlots
+	}
+
+	transmitters := make([]int, 0, n)
+	receivers := make([]int, n)
+	inTx := make([]bool, n)
+	var totalAttempts, totalHidden int64
+
+	for t := int64(0); t < totalSlots; t++ {
+		if nextMobility > 0 && t >= nextMobility {
+			// Advance the waypoint model by the elapsed MAC time and
+			// refresh the adjacency snapshot.
+			if err := mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
+				return nil, fmt.Errorf("multihop: mobility step: %w", err)
+			}
+			adj = mobile.AdjacencyLists()
+			nextMobility += mobilityEverySlots
+		}
+
+		// Phase 1: who starts transmitting this slot?
+		transmitters = transmitters[:0]
+		for i := range nodes {
+			nd := &nodes[i]
+			if nd.txUntil > t || nd.busyUntil > t {
+				continue // transmitting or sensing a busy channel
+			}
+			if nd.counter > 0 {
+				nd.counter--
+				continue
+			}
+			if len(adj[i]) == 0 {
+				// Isolated node: nothing to send to; stay in backoff.
+				nd.draw(src, cfg.MaxStage)
+				continue
+			}
+			transmitters = append(transmitters, i)
+			receivers[i] = adj[i][src.Intn(len(adj[i]))]
+		}
+		if len(transmitters) == 0 {
+			continue
+		}
+
+		for _, i := range transmitters {
+			inTx[i] = true
+		}
+
+		// Phase 2: resolve outcomes at the receivers.
+		for _, i := range transmitters {
+			r := receivers[i]
+			st := &res.Nodes[i]
+			st.Attempts++
+			totalAttempts++
+
+			ok := true
+			hidden := false
+			if inTx[r] || nodes[r].busyUntil > t || nodes[r].txUntil > t {
+				// Receiver deaf: transmitting itself or in a busy locale.
+				ok = false
+			}
+			if ok {
+				for _, j := range adj[r] {
+					if j == i || !inTx[j] {
+						continue
+					}
+					ok = false
+					if !nw.IsLink(i, j) {
+						hidden = true // the interferer was invisible to i
+					}
+				}
+			}
+			dur := tcSlots
+			if ok {
+				st.Successes++
+				nodes[i].stage = 0
+				dur = tsSlots
+			} else {
+				st.Collisions++
+				if hidden {
+					st.HiddenCollisions++
+					totalHidden++
+				}
+				if nodes[i].stage < cfg.MaxStage {
+					nodes[i].stage++
+				}
+			}
+			nodes[i].txUntil = t + dur
+			nodes[i].draw(src, cfg.MaxStage)
+			// Carrier sensing: everyone in range of the transmitter holds.
+			for _, k := range adj[i] {
+				if until := t + dur; nodes[k].busyUntil < until {
+					nodes[k].busyUntil = until
+				}
+			}
+		}
+		for _, i := range transmitters {
+			inTx[i] = false
+		}
+	}
+
+	res.Slots = totalSlots
+	res.Time = float64(totalSlots) * cfg.Timing.Slot
+	for i := range res.Nodes {
+		st := &res.Nodes[i]
+		st.PayoffRate = (float64(st.Successes)*cfg.Gain - float64(st.Attempts)*cfg.Cost) / res.Time
+	}
+	if totalAttempts > 0 {
+		res.HiddenFraction = float64(totalHidden) / float64(totalAttempts)
+	}
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGeomSeriesSum checks the summation form against the closed form and
+// the basic shape properties for arbitrary (x, m).
+func FuzzGeomSeriesSum(f *testing.F) {
+	f.Add(0.5, 6)
+	f.Add(1.0, 6) // singular point of the closed form
+	f.Add(0.0, 0)
+	f.Add(1.99, 12)
+	f.Fuzz(func(t *testing.T, x float64, m int) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 || x > 4 {
+			t.Skip()
+		}
+		if m < 0 || m > 20 {
+			t.Skip()
+		}
+		got := GeomSeriesSum(x, m)
+		if math.IsNaN(got) || got < 0 {
+			t.Fatalf("GeomSeriesSum(%g, %d) = %g", x, m, got)
+		}
+		if m == 0 && got != 0 {
+			t.Fatalf("empty sum = %g", got)
+		}
+		if m > 0 && got < 1 {
+			t.Fatalf("sum with r=0 term = %g < 1", got)
+		}
+		if math.Abs(x-1) > 1e-9 && m > 0 {
+			want := (1 - math.Pow(x, float64(m))) / (1 - x)
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("GeomSeriesSum(%g, %d) = %g, closed form %g", x, m, got, want)
+			}
+		}
+	})
+}
+
+// FuzzBisect drives the robust root finder with arbitrary monotone linear
+// functions: whenever the bracket is valid the returned root must satisfy
+// |f(root)| small.
+func FuzzBisect(f *testing.F) {
+	f.Add(1.0, -0.5)
+	f.Add(100.0, -3.0)
+	f.Add(0.001, -0.0005)
+	f.Fuzz(func(t *testing.T, slope, offset float64) {
+		if math.IsNaN(slope) || math.IsInf(slope, 0) || slope <= 1e-9 || slope > 1e9 {
+			t.Skip()
+		}
+		if math.IsNaN(offset) || offset >= 0 || offset < -slope { // root in (0, 1]
+			t.Skip()
+		}
+		lin := func(x float64) float64 { return slope*x + offset }
+		root, err := Bisect(lin, 0, 1, Options{})
+		if err != nil {
+			t.Fatalf("Bisect: %v", err)
+		}
+		want := -offset / slope
+		if math.Abs(root-want) > 1e-9 {
+			t.Fatalf("root %g, want %g", root, want)
+		}
+	})
+}

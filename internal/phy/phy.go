@@ -1,0 +1,204 @@
+// Package phy captures the IEEE 802.11 physical/MAC-layer parameterisation
+// used throughout the paper (its Table I) and derives the channel-hold
+// durations Ts (successful transmission) and Tc (collision) for both the
+// basic access mechanism and the RTS/CTS handshake.
+//
+// All durations are expressed in microseconds as float64. The package is
+// pure data + arithmetic: no state, no I/O.
+package phy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AccessMode selects the DCF channel-access mechanism.
+type AccessMode int
+
+const (
+	// Basic is the two-way DATA/ACK exchange.
+	Basic AccessMode = iota + 1
+	// RTSCTS is the four-way RTS/CTS/DATA/ACK exchange.
+	RTSCTS
+)
+
+// String implements fmt.Stringer.
+func (m AccessMode) String() string {
+	switch m {
+	case Basic:
+		return "basic"
+	case RTSCTS:
+		return "rts/cts"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a known access mode.
+func (m AccessMode) Valid() bool { return m == Basic || m == RTSCTS }
+
+// Params is the full 802.11 parameter set. Frame sizes are in bits
+// (PHY header excluded for ACK/RTS/CTS; it is added by the timing
+// methods, matching the paper's "x bits + PHY header" notation),
+// the bit rate in bits/second, and times in microseconds.
+type Params struct {
+	// PayloadBits is the MSDU payload size (the paper's packet size).
+	PayloadBits float64
+	// MACHeaderBits and PHYHeaderBits together form the per-frame header.
+	MACHeaderBits float64
+	PHYHeaderBits float64
+	// ACKBits, RTSBits and CTSBits are control-frame bodies, each
+	// transmitted with an additional PHY header.
+	ACKBits float64
+	RTSBits float64
+	CTSBits float64
+	// BitRate is the channel bit rate in bits per second.
+	BitRate float64
+	// SlotTime is the empty-slot duration sigma in microseconds.
+	SlotTime float64
+	// SIFS and DIFS are the interframe spaces in microseconds.
+	SIFS float64
+	DIFS float64
+	// MaxBackoffStage is m: the contention window doubles at most m times
+	// (CW in stage j is 2^j * W for j <= m). The paper leaves m unstated;
+	// 802.11 DSSS uses CWmax/CWmin = 2^5..2^6 and the reproduction
+	// defaults to 6, which the experiments show barely affects the NE.
+	MaxBackoffStage int
+}
+
+// Default returns the paper's Table I parameter set.
+func Default() Params {
+	return Params{
+		PayloadBits:     8184,
+		MACHeaderBits:   272,
+		PHYHeaderBits:   128,
+		ACKBits:         112,
+		RTSBits:         160,
+		CTSBits:         112,
+		BitRate:         1e6, // 1 Mbit/s
+		SlotTime:        50,
+		SIFS:            28,
+		DIFS:            128,
+		MaxBackoffStage: 6,
+	}
+}
+
+// Validate checks the parameter set for physical plausibility.
+func (p Params) Validate() error {
+	var errs []error
+	if p.PayloadBits <= 0 {
+		errs = append(errs, fmt.Errorf("payload %g bits must be positive", p.PayloadBits))
+	}
+	if p.MACHeaderBits < 0 || p.PHYHeaderBits < 0 || p.ACKBits < 0 || p.RTSBits < 0 || p.CTSBits < 0 {
+		errs = append(errs, errors.New("frame sizes must be non-negative"))
+	}
+	if p.BitRate <= 0 {
+		errs = append(errs, fmt.Errorf("bit rate %g must be positive", p.BitRate))
+	}
+	if p.SlotTime <= 0 {
+		errs = append(errs, fmt.Errorf("slot time %g must be positive", p.SlotTime))
+	}
+	if p.SIFS < 0 || p.DIFS < 0 {
+		errs = append(errs, errors.New("interframe spaces must be non-negative"))
+	}
+	if p.DIFS < p.SIFS {
+		errs = append(errs, fmt.Errorf("DIFS %g must be >= SIFS %g", p.DIFS, p.SIFS))
+	}
+	if p.MaxBackoffStage < 0 || p.MaxBackoffStage > 16 {
+		errs = append(errs, fmt.Errorf("max backoff stage %d outside [0, 16]", p.MaxBackoffStage))
+	}
+	return errors.Join(errs...)
+}
+
+// TxTime converts a frame size in bits to airtime in microseconds.
+func (p Params) TxTime(bits float64) float64 {
+	return bits / p.BitRate * 1e6
+}
+
+// HeaderTime is H: the time to transmit PHY + MAC headers.
+func (p Params) HeaderTime() float64 {
+	return p.TxTime(p.PHYHeaderBits + p.MACHeaderBits)
+}
+
+// PayloadTime is P: the time to transmit the packet payload. It is also
+// E[P] in the throughput formula since all packets share one size.
+func (p Params) PayloadTime() float64 { return p.TxTime(p.PayloadBits) }
+
+// ACKTime is the airtime of an ACK frame including its PHY header.
+func (p Params) ACKTime() float64 { return p.TxTime(p.ACKBits + p.PHYHeaderBits) }
+
+// RTSTime is the airtime of an RTS frame including its PHY header.
+func (p Params) RTSTime() float64 { return p.TxTime(p.RTSBits + p.PHYHeaderBits) }
+
+// CTSTime is the airtime of a CTS frame including its PHY header.
+func (p Params) CTSTime() float64 { return p.TxTime(p.CTSBits + p.PHYHeaderBits) }
+
+// Timing bundles the per-mode slot-level durations the Markov-chain model
+// and the simulators consume.
+type Timing struct {
+	Mode AccessMode
+	// Ts is the average channel-busy time of a successful transmission.
+	Ts float64
+	// Tc is the average channel-busy time of a collision.
+	Tc float64
+	// Slot is the empty slot duration sigma.
+	Slot float64
+	// Payload is E[P], the payload airtime credited to a success.
+	Payload float64
+}
+
+// Timing derives the Ts/Tc durations for the given access mode, using the
+// paper's Section III (basic) and Section V.F (RTS/CTS) formulas:
+//
+//	basic:   Ts = H + P + SIFS + ACK + DIFS,  Tc = H + P + SIFS
+//	rts/cts: Ts = RTS + SIFS + CTS + H + P + SIFS + ACK + DIFS
+//	         Tc = RTS + DIFS
+//
+// It returns an error for an unknown mode or invalid parameters.
+func (p Params) Timing(mode AccessMode) (Timing, error) {
+	if err := p.Validate(); err != nil {
+		return Timing{}, fmt.Errorf("phy: invalid params: %w", err)
+	}
+	h, pl := p.HeaderTime(), p.PayloadTime()
+	switch mode {
+	case Basic:
+		return Timing{
+			Mode:    mode,
+			Ts:      h + pl + p.SIFS + p.ACKTime() + p.DIFS,
+			Tc:      h + pl + p.SIFS,
+			Slot:    p.SlotTime,
+			Payload: pl,
+		}, nil
+	case RTSCTS:
+		return Timing{
+			Mode:    mode,
+			Ts:      p.RTSTime() + p.SIFS + p.CTSTime() + h + pl + p.SIFS + p.ACKTime() + p.DIFS,
+			Tc:      p.RTSTime() + p.DIFS,
+			Slot:    p.SlotTime,
+			Payload: pl,
+		}, nil
+	default:
+		return Timing{}, fmt.Errorf("phy: unknown access mode %v", mode)
+	}
+}
+
+// MustTiming is Timing for parameter sets known valid at the call site
+// (e.g. Default()); it panics on error.
+func (p Params) MustTiming(mode AccessMode) Timing {
+	t, err := p.Timing(mode)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// SlotsCeil converts a duration in microseconds to a whole number of
+// backoff slots, rounding up. Simulators use it to hold the channel for
+// an integral number of slots.
+func (t Timing) SlotsCeil(d float64) int {
+	n := int(d / t.Slot)
+	if float64(n)*t.Slot < d {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package phy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultMatchesTableI(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Default params invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"payload bits", p.PayloadBits, 8184},
+		{"mac header bits", p.MACHeaderBits, 272},
+		{"phy header bits", p.PHYHeaderBits, 128},
+		{"ack bits", p.ACKBits, 112},
+		{"rts bits", p.RTSBits, 160},
+		{"cts bits", p.CTSBits, 112},
+		{"bit rate", p.BitRate, 1e6},
+		{"slot", p.SlotTime, 50},
+		{"sifs", p.SIFS, 28},
+		{"difs", p.DIFS, 128},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s = %g, want %g", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestDerivedAirtimes(t *testing.T) {
+	p := Default()
+	// At 1 Mbit/s, 1 bit = 1 microsecond.
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"H", p.HeaderTime(), 400},
+		{"P", p.PayloadTime(), 8184},
+		{"ACK", p.ACKTime(), 240},
+		{"RTS", p.RTSTime(), 288},
+		{"CTS", p.CTSTime(), 240},
+	}
+	for _, tc := range cases {
+		if math.Abs(tc.got-tc.want) > 1e-9 {
+			t.Errorf("%s = %g us, want %g us", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestBasicTiming(t *testing.T) {
+	tm, err := Default().Timing(Basic)
+	if err != nil {
+		t.Fatalf("Timing(Basic): %v", err)
+	}
+	// Ts = 400 + 8184 + 28 + 240 + 128 = 8980; Tc = 400 + 8184 + 28 = 8612.
+	if math.Abs(tm.Ts-8980) > 1e-9 {
+		t.Errorf("Ts = %g, want 8980", tm.Ts)
+	}
+	if math.Abs(tm.Tc-8612) > 1e-9 {
+		t.Errorf("Tc = %g, want 8612", tm.Tc)
+	}
+	if tm.Slot != 50 || tm.Payload != 8184 {
+		t.Errorf("slot/payload = %g/%g", tm.Slot, tm.Payload)
+	}
+	if tm.Mode != Basic {
+		t.Errorf("mode = %v", tm.Mode)
+	}
+}
+
+func TestRTSCTSTiming(t *testing.T) {
+	tm, err := Default().Timing(RTSCTS)
+	if err != nil {
+		t.Fatalf("Timing(RTSCTS): %v", err)
+	}
+	// Ts = 288 + 28 + 240 + 400 + 8184 + 28 + 240 + 128 = 9536; Tc = 288 + 128 = 416.
+	if math.Abs(tm.Ts-9536) > 1e-9 {
+		t.Errorf("Ts = %g, want 9536", tm.Ts)
+	}
+	if math.Abs(tm.Tc-416) > 1e-9 {
+		t.Errorf("Tc = %g, want 416", tm.Tc)
+	}
+}
+
+func TestCollisionCostOrdering(t *testing.T) {
+	p := Default()
+	basic := p.MustTiming(Basic)
+	rts := p.MustTiming(RTSCTS)
+	// The whole point of RTS/CTS: collisions are cheap, successes slightly
+	// longer. The paper's analysis (Tc' << Ts') relies on this.
+	if rts.Tc >= basic.Tc {
+		t.Errorf("RTS/CTS collision cost %g should be far below basic %g", rts.Tc, basic.Tc)
+	}
+	if rts.Ts <= basic.Ts {
+		t.Errorf("RTS/CTS success cost %g should exceed basic %g", rts.Ts, basic.Ts)
+	}
+	if rts.Tc > rts.Ts/10 {
+		t.Errorf("RTS/CTS Tc=%g not << Ts=%g", rts.Tc, rts.Ts)
+	}
+}
+
+func TestTimingUnknownMode(t *testing.T) {
+	if _, err := Default().Timing(AccessMode(0)); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := Default().Timing(AccessMode(7)); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero payload", func(p *Params) { p.PayloadBits = 0 }},
+		{"negative ack", func(p *Params) { p.ACKBits = -1 }},
+		{"zero bitrate", func(p *Params) { p.BitRate = 0 }},
+		{"zero slot", func(p *Params) { p.SlotTime = 0 }},
+		{"negative sifs", func(p *Params) { p.SIFS = -1 }},
+		{"difs < sifs", func(p *Params) { p.DIFS = 1; p.SIFS = 2 }},
+		{"negative stage", func(p *Params) { p.MaxBackoffStage = -1 }},
+		{"huge stage", func(p *Params) { p.MaxBackoffStage = 17 }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Default()
+			tc.mut(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if _, err := p.Timing(Basic); err == nil {
+				t.Fatalf("Timing accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestAccessModeString(t *testing.T) {
+	if Basic.String() != "basic" || RTSCTS.String() != "rts/cts" {
+		t.Fatalf("mode strings: %q %q", Basic, RTSCTS)
+	}
+	if !strings.Contains(AccessMode(9).String(), "9") {
+		t.Fatalf("unknown mode string: %q", AccessMode(9))
+	}
+	if AccessMode(9).Valid() || AccessMode(0).Valid() {
+		t.Fatal("invalid modes reported valid")
+	}
+	if !Basic.Valid() || !RTSCTS.Valid() {
+		t.Fatal("valid modes reported invalid")
+	}
+}
+
+func TestSlotsCeil(t *testing.T) {
+	tm := Default().MustTiming(Basic)
+	cases := []struct {
+		d    float64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{50, 1},
+		{51, 2},
+		{100, 2},
+		{8980, 180}, // 8980/50 = 179.6
+	}
+	for _, tc := range cases {
+		if got := tm.SlotsCeil(tc.d); got != tc.want {
+			t.Errorf("SlotsCeil(%g) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestMustTimingPanicsOnInvalid(t *testing.T) {
+	p := Default()
+	p.BitRate = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTiming did not panic on invalid params")
+		}
+	}()
+	p.MustTiming(Basic)
+}

@@ -1,0 +1,159 @@
+package search
+
+import (
+	"fmt"
+
+	"selfishmac/internal/core"
+	"selfishmac/internal/macsim"
+	"selfishmac/internal/rng"
+)
+
+// AnalyticEnv measures payoffs exactly from the analytic game model with
+// perfect message delivery: every broadcast Ready/StartSearch sets all
+// follower CWs; the leader's payoff is computed from the resulting
+// (possibly heterogeneous) profile.
+type AnalyticEnv struct {
+	game   *core.Game
+	leader int
+	cw     []int
+	// Log records delivered messages for assertions.
+	Log []Message
+}
+
+// NewAnalyticEnv builds an environment of game.N() nodes, all starting at
+// CW w0, with the given leader index.
+func NewAnalyticEnv(game *core.Game, leader, w0 int) (*AnalyticEnv, error) {
+	if game == nil {
+		return nil, ErrNoEnv
+	}
+	if leader < 0 || leader >= game.N() {
+		return nil, fmt.Errorf("search: leader %d outside [0, %d)", leader, game.N())
+	}
+	cw := make([]int, game.N())
+	for i := range cw {
+		cw[i] = w0
+	}
+	return &AnalyticEnv{game: game, leader: leader, cw: cw}, nil
+}
+
+// Broadcast implements Env with perfect delivery.
+func (e *AnalyticEnv) Broadcast(msg Message) {
+	e.Log = append(e.Log, msg)
+	if msg.Type == StartSearch || msg.Type == Ready {
+		for i := range e.cw {
+			if i != e.leader {
+				e.cw[i] = msg.W
+			}
+		}
+	}
+}
+
+// LeaderPayoff implements Env.
+func (e *AnalyticEnv) LeaderPayoff(w int) (float64, error) {
+	e.cw[e.leader] = w
+	us, err := e.game.ProfileUtilities(e.cw)
+	if err != nil {
+		return 0, err
+	}
+	return us[e.leader], nil
+}
+
+// Profile returns a copy of the nodes' current CW values.
+func (e *AnalyticEnv) Profile() []int { return append([]int(nil), e.cw...) }
+
+var _ Env = (*AnalyticEnv)(nil)
+
+// LossyEnv wraps perfect analytic payoff measurement with an unreliable
+// broadcast medium: each follower independently misses each message with
+// probability DropProb, so stragglers keep stale CW values and the leader
+// measures a heterogeneous profile. It exercises the protocol's
+// noise robustness (use Options.MinImprove > 0 with it).
+type LossyEnv struct {
+	inner    *AnalyticEnv
+	dropProb float64
+	src      *rng.Source
+}
+
+// NewLossyEnv wraps env with per-node message loss.
+func NewLossyEnv(env *AnalyticEnv, dropProb float64, seed uint64) (*LossyEnv, error) {
+	if env == nil {
+		return nil, ErrNoEnv
+	}
+	if dropProb < 0 || dropProb >= 1 {
+		return nil, fmt.Errorf("search: drop probability %g outside [0, 1)", dropProb)
+	}
+	return &LossyEnv{inner: env, dropProb: dropProb, src: rng.New(seed)}, nil
+}
+
+// Broadcast implements Env with independent per-node losses.
+func (e *LossyEnv) Broadcast(msg Message) {
+	e.inner.Log = append(e.inner.Log, msg)
+	if msg.Type != StartSearch && msg.Type != Ready {
+		return
+	}
+	for i := range e.inner.cw {
+		if i == e.inner.leader {
+			continue
+		}
+		if e.src.Float64() >= e.dropProb {
+			e.inner.cw[i] = msg.W
+		}
+	}
+}
+
+// LeaderPayoff implements Env.
+func (e *LossyEnv) LeaderPayoff(w int) (float64, error) { return e.inner.LeaderPayoff(w) }
+
+// Profile returns the followers' current CW values.
+func (e *LossyEnv) Profile() []int { return e.inner.Profile() }
+
+var _ Env = (*LossyEnv)(nil)
+
+// SimEnv measures the leader's payoff by running the event-driven MAC
+// simulator for MeasureTime microseconds per probe — the protocol exactly
+// as deployed (paper: U_l = (n_s·g − n_e·e)/t_m). Measurements are noisy;
+// pair it with Options.MinImprove.
+type SimEnv struct {
+	cfg    macsim.Config
+	leader int
+	probe  uint64
+}
+
+// NewSimEnv builds a simulator-backed environment. cfg.CW must hold the
+// initial profile; cfg.Duration is the per-probe measurement time t_m.
+func NewSimEnv(cfg macsim.Config, leader int) (*SimEnv, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	if leader < 0 || leader >= len(cfg.CW) {
+		return nil, fmt.Errorf("search: leader %d outside [0, %d)", leader, len(cfg.CW))
+	}
+	cfg.CW = append([]int(nil), cfg.CW...)
+	return &SimEnv{cfg: cfg, leader: leader}, nil
+}
+
+// Broadcast implements Env with perfect delivery.
+func (e *SimEnv) Broadcast(msg Message) {
+	if msg.Type == StartSearch || msg.Type == Ready {
+		for i := range e.cfg.CW {
+			if i != e.leader {
+				e.cfg.CW[i] = msg.W
+			}
+		}
+	}
+}
+
+// LeaderPayoff implements Env by simulation.
+func (e *SimEnv) LeaderPayoff(w int) (float64, error) {
+	e.cfg.CW[e.leader] = w
+	cfg := e.cfg
+	e.probe++
+	cfg.Seed = e.cfg.Seed + e.probe*0x9e3779b97f4a7c15
+	res, err := macsim.Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Nodes[e.leader].PayoffRate, nil
+}
+
+var _ Env = (*SimEnv)(nil)

@@ -1,0 +1,359 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"selfishmac/internal/core"
+	"selfishmac/internal/macsim"
+	"selfishmac/internal/phy"
+)
+
+// funcEnv adapts a pure payoff function to Env (perfect delivery).
+type funcEnv struct {
+	payoff func(w int) float64
+	msgs   []Message
+}
+
+func (e *funcEnv) Broadcast(msg Message)               { e.msgs = append(e.msgs, msg) }
+func (e *funcEnv) LeaderPayoff(w int) (float64, error) { return e.payoff(w), nil }
+
+func tentEnv(peak int) *funcEnv {
+	return &funcEnv{payoff: func(w int) float64 { return -math.Abs(float64(w - peak)) }}
+}
+
+func mustGame(t testing.TB, n int, mode phy.AccessMode) *core.Game {
+	t.Helper()
+	g, err := core.NewGame(core.DefaultConfig(n, mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunFindsPeakRightOfStart(t *testing.T) {
+	env := tentEnv(40)
+	res, err := Run(env, 0, 10, Options{WMax: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 40 {
+		t.Fatalf("found W = %d, want 40", res.W)
+	}
+	if res.Direction != 1 {
+		t.Fatalf("direction = %d, want +1", res.Direction)
+	}
+	// Probes: start at 10, then 11..40 (30 improving), then 41 overshoots.
+	if res.ProbeCount() != 32 {
+		t.Fatalf("probes = %d, want 32", res.ProbeCount())
+	}
+}
+
+func TestRunFindsPeakLeftOfStart(t *testing.T) {
+	env := tentEnv(5)
+	res, err := Run(env, 0, 20, Options{WMax: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 5 {
+		t.Fatalf("found W = %d, want 5", res.W)
+	}
+	if res.Direction != -1 {
+		t.Fatalf("direction = %d, want -1", res.Direction)
+	}
+}
+
+func TestRunStartAtPeak(t *testing.T) {
+	env := tentEnv(20)
+	res, err := Run(env, 0, 20, Options{WMax: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 20 || res.Direction != 0 {
+		t.Fatalf("W=%d dir=%d, want 20, 0", res.W, res.Direction)
+	}
+}
+
+func TestRunMessageSequence(t *testing.T) {
+	env := tentEnv(12)
+	if _, err := Run(env, 3, 10, Options{WMax: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if env.msgs[0].Type != StartSearch || env.msgs[0].W != 10 || env.msgs[0].From != 3 {
+		t.Fatalf("first message = %+v, want start-search W=10 from 3", env.msgs[0])
+	}
+	last := env.msgs[len(env.msgs)-1]
+	if last.Type != Announce || last.W != 12 {
+		t.Fatalf("last message = %+v, want announce W=12", last)
+	}
+	for _, m := range env.msgs[1 : len(env.msgs)-1] {
+		if m.Type != Ready {
+			t.Fatalf("middle message = %+v, want ready", m)
+		}
+	}
+}
+
+func TestRunBoundsValidation(t *testing.T) {
+	env := tentEnv(5)
+	if _, err := Run(env, 0, 0, Options{}); err == nil {
+		t.Error("w0=0 accepted")
+	}
+	if _, err := Run(env, 0, 5000, Options{WMax: 100}); err == nil {
+		t.Error("w0 above WMax accepted")
+	}
+}
+
+func TestRunStopsAtWMax(t *testing.T) {
+	// Monotone increasing payoff: search must stop at WMax.
+	env := &funcEnv{payoff: func(w int) float64 { return float64(w) }}
+	res, err := Run(env, 0, 95, Options{WMax: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 100 {
+		t.Fatalf("W = %d, want WMax 100", res.W)
+	}
+}
+
+func TestRunPropagatesMeasurementError(t *testing.T) {
+	env := &errEnv{failAt: 12}
+	if _, err := Run(env, 0, 10, Options{WMax: 100}); err == nil {
+		t.Fatal("measurement error swallowed")
+	}
+}
+
+type errEnv struct{ failAt int }
+
+func (e *errEnv) Broadcast(Message) {}
+func (e *errEnv) LeaderPayoff(w int) (float64, error) {
+	if w == e.failAt {
+		return 0, fmt.Errorf("boom at %d", w)
+	}
+	return float64(w), nil
+}
+
+// The protocol against the real analytic game must land on (or next to)
+// the exact efficient NE.
+func TestRunFindsEfficientNEAnalytic(t *testing.T) {
+	g := mustGame(t, 5, phy.RTSCTS)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewAnalyticEnv(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, 0, 4, Options{WMax: g.Config().WMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != ne.WStar {
+		t.Fatalf("protocol found W = %d, exact NE = %d", res.W, ne.WStar)
+	}
+	// After the announce every follower sits at the found CW.
+	for i, w := range env.Profile() {
+		if i != 0 && w != res.W && w != res.W+1 {
+			// The final Ready before the overshoot probe may leave
+			// followers one step past the peak; the announce is what
+			// nodes adopt. Accept either.
+			t.Fatalf("follower %d at %d after search for %d", i, w, res.W)
+		}
+	}
+}
+
+func TestRunLeftSearchFromAbove(t *testing.T) {
+	g := mustGame(t, 5, phy.RTSCTS)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := ne.WStar + 30
+	env, err := NewAnalyticEnv(g, 2, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, 2, start, Options{WMax: g.Config().WMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != ne.WStar {
+		t.Fatalf("left search found %d, want %d", res.W, ne.WStar)
+	}
+	if res.Direction != -1 {
+		t.Fatalf("direction = %d, want -1", res.Direction)
+	}
+}
+
+func TestAcceleratedMatchesExhaustive(t *testing.T) {
+	for _, peak := range []int{3, 47, 312, 2000} {
+		env := tentEnv(peak)
+		res, err := AcceleratedSearch(env, 0, 16, Options{WMax: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.W != peak {
+			t.Errorf("peak %d: accelerated found %d", peak, res.W)
+		}
+	}
+}
+
+func TestAcceleratedUsesFarFewerProbes(t *testing.T) {
+	g := mustGame(t, 20, phy.Basic)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	envSlow, err := NewAnalyticEnv(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(envSlow, 0, 16, Options{WMax: g.Config().WMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envFast, err := NewAnalyticEnv(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := AcceleratedSearch(envFast, 0, 16, Options{WMax: g.Config().WMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.W != ne.WStar && int(math.Abs(float64(fast.W-ne.WStar))) > 2 {
+		t.Errorf("accelerated found %d, exact NE %d", fast.W, ne.WStar)
+	}
+	if slow.W != ne.WStar {
+		t.Errorf("paper search found %d, exact NE %d", slow.W, ne.WStar)
+	}
+	if fast.ProbeCount()*5 > slow.ProbeCount() {
+		t.Errorf("accelerated used %d probes vs paper %d; want >= 5x fewer",
+			fast.ProbeCount(), slow.ProbeCount())
+	}
+}
+
+func TestSimEnvSearchLandsOnPlateau(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed search is slow")
+	}
+	p := phy.Default()
+	g := mustGame(t, 5, phy.RTSCTS)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := []int{8, 8, 8, 8, 8}
+	env, err := NewSimEnv(macsim.Config{
+		Timing:   p.MustTiming(phy.RTSCTS),
+		MaxStage: p.MaxBackoffStage,
+		CW:       cw,
+		Duration: 20e6, // t_m = 20 s per probe
+		Seed:     3,
+		Gain:     1,
+		Cost:     0.01,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AcceleratedSearch(env, 0, 8, Options{WMax: 512, MinImprove: 2e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured payoffs are noisy and the RTS/CTS plateau is flat: accept
+	// anything whose analytic payoff is within 3% of the peak.
+	u, err := g.UniformUtilityRate(res.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0.97*ne.UStar {
+		t.Errorf("simulated search found W=%d with utility %.3g, peak %.3g (NE %d)",
+			res.W, u, ne.UStar, ne.WStar)
+	}
+}
+
+func TestLossyEnvStillConvergesNearNE(t *testing.T) {
+	g := mustGame(t, 10, phy.RTSCTS)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewAnalyticEnv(g, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := NewLossyEnv(inner, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(lossy, 0, 8, Options{WMax: g.Config().WMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := g.UniformUtilityRate(res.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 20% message loss the walk still has to end on the payoff
+	// plateau (within 5% of the peak utility).
+	if u < 0.95*ne.UStar {
+		t.Errorf("lossy search found W=%d with utility %.3g vs peak %.3g (NE %d)",
+			res.W, u, ne.UStar, ne.WStar)
+	}
+}
+
+func TestLossyEnvValidation(t *testing.T) {
+	g := mustGame(t, 3, phy.Basic)
+	inner, err := NewAnalyticEnv(g, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLossyEnv(nil, 0.1, 1); err == nil {
+		t.Error("nil inner env accepted")
+	}
+	if _, err := NewLossyEnv(inner, 1.0, 1); err == nil {
+		t.Error("drop probability 1 accepted")
+	}
+	if _, err := NewLossyEnv(inner, -0.1, 1); err == nil {
+		t.Error("negative drop probability accepted")
+	}
+}
+
+func TestAnalyticEnvValidation(t *testing.T) {
+	g := mustGame(t, 3, phy.Basic)
+	if _, err := NewAnalyticEnv(nil, 0, 8); err == nil {
+		t.Error("nil game accepted")
+	}
+	if _, err := NewAnalyticEnv(g, 3, 8); err == nil {
+		t.Error("out-of-range leader accepted")
+	}
+}
+
+func TestSimEnvValidation(t *testing.T) {
+	p := phy.Default()
+	good := macsim.Config{
+		Timing:   p.MustTiming(phy.Basic),
+		MaxStage: 6,
+		CW:       []int{8, 8},
+		Duration: 1e6,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	if _, err := NewSimEnv(good, 5); err == nil {
+		t.Error("out-of-range leader accepted")
+	}
+	bad := good
+	bad.Duration = 0
+	if _, err := NewSimEnv(bad, 0); err == nil {
+		t.Error("invalid sim config accepted")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if StartSearch.String() != "start-search" || Ready.String() != "ready" || Announce.String() != "announce" {
+		t.Fatalf("strings: %v %v %v", StartSearch, Ready, Announce)
+	}
+	if MsgType(9).String() == "" {
+		t.Fatal("unknown type has empty string")
+	}
+}

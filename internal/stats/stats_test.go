@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selfishmac/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %g, want 5", w.Mean())
+	}
+	if !almostEq(w.PopVariance(), 4, 1e-12) {
+		t.Errorf("population variance = %g, want 4", w.PopVariance())
+	}
+	if !almostEq(w.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("sample variance = %g, want 32/7", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %g/%g, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Fatalf("single sample: mean=%g var=%g, want 3, 0", w.Mean(), w.Variance())
+	}
+}
+
+// Property: Welford agrees with the two-pass formulas on random data.
+func TestWelfordMatchesTwoPassProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		r := rng.New(seed)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.UniformRange(-100, 100)
+			w.Add(xs[i])
+		}
+		return almostEq(w.Mean(), Mean(xs), 1e-9) &&
+			almostEq(w.Variance(), Variance(xs), 1e-7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordSnapshotString(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	s := w.Snapshot()
+	if s.N != 2 || s.Mean != 1.5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestMeanSumVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Sum(xs) != 10 {
+		t.Errorf("Sum = %g", Sum(xs))
+	}
+	if !almostEq(Variance(xs), 5.0/3, 1e-12) {
+		t.Errorf("Variance = %g, want 5/3", Variance(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Sum(nil) != 0 {
+		t.Error("empty-slice aggregates should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%g, %g), want (-1, 7)", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinMax(nil) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %g", Median(xs))
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(q=%g) did not panic", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, c := range wantCounts {
+		if h.Counts[i] != c {
+			t.Errorf("bin %d count = %d, want %d (all: %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if !almostEq(h.BinCenter(0), 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %g, want 1", h.BinCenter(0))
+	}
+	if !almostEq(h.Mode(), 1, 1e-12) {
+		t.Errorf("Mode = %g, want 1", h.Mode())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestHistogramEdgeRoundoff(t *testing.T) {
+	h, err := NewHistogram(0, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.3 - epsilon style values must not index out of range.
+	h.Add(math.Nextafter(0.3, 0))
+	if Sum64(h.Counts) != 1 {
+		t.Fatalf("edge sample lost: %v", h.Counts)
+	}
+}
+
+// Sum64 sums an int slice (test helper).
+func Sum64(xs []int) int {
+	var s int
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := LinearFit(xs, ys)
+	if !almostEq(a, 1, 1e-12) || !almostEq(b, 2, 1e-12) {
+		t.Fatalf("fit = (%g, %g), want (1, 2)", a, b)
+	}
+}
+
+func TestLinearFitNoise(t *testing.T) {
+	r := rng.New(99)
+	n := 2000
+	xs, ys := make([]float64, n), make([]float64, n)
+	for i := range xs {
+		xs[i] = r.UniformRange(0, 10)
+		ys[i] = -2 + 0.5*xs[i] + 0.01*r.NormFloat64()
+	}
+	a, b := LinearFit(xs, ys)
+	if !almostEq(a, -2, 0.01) || !almostEq(b, 0.5, 0.01) {
+		t.Fatalf("fit = (%g, %g), want (-2, 0.5)", a, b)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(110, 100) != 0.1 {
+		t.Errorf("RelErr(110,100) = %g", RelErr(110, 100))
+	}
+	if RelErr(0.5, 0) != 0.5 {
+		t.Errorf("RelErr(0.5,0) = %g", RelErr(0.5, 0))
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("equal shares index = %g, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); !almostEq(got, 0.25, 1e-12) {
+		t.Errorf("monopoly index = %g, want 1/n = 0.25", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero index = %g, want 1", got)
+	}
+	// Intermediate case: (1+3)^2 / (2*(1+9)) = 16/20 = 0.8.
+	if got := JainIndex([]float64{1, 3}); !almostEq(got, 0.8, 1e-12) {
+		t.Errorf("index = %g, want 0.8", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("JainIndex(nil) did not panic")
+		}
+	}()
+	JainIndex(nil)
+}

@@ -1,0 +1,270 @@
+// Package topology models the spatial substrate of the multi-hop
+// experiments (paper Section VII.B): node placement in a rectangular
+// area, unit-disk connectivity with a fixed transmission range, and the
+// random-waypoint mobility model.
+//
+// Units: positions and ranges in meters, speeds in meters/second, times
+// in seconds. The paper's scenario is 100 nodes, 1000 m × 1000 m, 250 m
+// range, speeds uniform in [0, 5] m/s.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfishmac/internal/rng"
+)
+
+// Point is a position in the plane (meters).
+type Point struct {
+	X, Y float64
+}
+
+// DistTo returns the Euclidean distance to q.
+func (p Point) DistTo(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Config parameterises a network.
+type Config struct {
+	// N is the node count.
+	N int
+	// Width and Height are the deployment area in meters.
+	Width, Height float64
+	// Range is the transmission (and carrier-sense) radius in meters.
+	Range float64
+	// MinSpeed and MaxSpeed bound the random-waypoint speed in m/s.
+	// MaxSpeed = 0 yields a static network.
+	MinSpeed, MaxSpeed float64
+	// Pause is the dwell time at each waypoint in seconds.
+	Pause float64
+	// Seed drives placement and mobility.
+	Seed uint64
+}
+
+// PaperConfig returns the paper's Section VII.B scenario.
+func PaperConfig(seed uint64) Config {
+	return Config{
+		N:        100,
+		Width:    1000,
+		Height:   1000,
+		Range:    250,
+		MinSpeed: 0,
+		MaxSpeed: 5,
+		Pause:    0,
+		Seed:     seed,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	var errs []error
+	if c.N < 1 {
+		errs = append(errs, fmt.Errorf("N = %d must be >= 1", c.N))
+	}
+	if c.Width <= 0 || c.Height <= 0 {
+		errs = append(errs, fmt.Errorf("area %g x %g must be positive", c.Width, c.Height))
+	}
+	if c.Range <= 0 {
+		errs = append(errs, fmt.Errorf("range %g must be positive", c.Range))
+	}
+	if c.MinSpeed < 0 || c.MaxSpeed < c.MinSpeed {
+		errs = append(errs, fmt.Errorf("speed bounds [%g, %g] invalid", c.MinSpeed, c.MaxSpeed))
+	}
+	if c.Pause < 0 {
+		errs = append(errs, errors.New("pause must be non-negative"))
+	}
+	return errors.Join(errs...)
+}
+
+// Network is a set of (possibly mobile) nodes with unit-disk links.
+type Network struct {
+	cfg       Config
+	pos       []Point
+	waypoint  []Point
+	speed     []float64
+	pauseLeft []float64
+	src       *rng.Source
+}
+
+// New places cfg.N nodes uniformly at random and initialises their
+// random-waypoint state.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: invalid config: %w", err)
+	}
+	nw := &Network{
+		cfg:       cfg,
+		pos:       make([]Point, cfg.N),
+		waypoint:  make([]Point, cfg.N),
+		speed:     make([]float64, cfg.N),
+		pauseLeft: make([]float64, cfg.N),
+		src:       rng.New(cfg.Seed),
+	}
+	for i := range nw.pos {
+		nw.pos[i] = nw.randomPoint()
+		nw.newLeg(i)
+	}
+	return nw, nil
+}
+
+func (nw *Network) randomPoint() Point {
+	return Point{
+		X: nw.src.UniformRange(0, nw.cfg.Width),
+		Y: nw.src.UniformRange(0, nw.cfg.Height),
+	}
+}
+
+// newLeg assigns node i a fresh waypoint and speed.
+func (nw *Network) newLeg(i int) {
+	nw.waypoint[i] = nw.randomPoint()
+	nw.speed[i] = nw.src.UniformRange(nw.cfg.MinSpeed, nw.cfg.MaxSpeed)
+	nw.pauseLeft[i] = 0
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return nw.cfg.N }
+
+// Config returns the network's configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Position returns node i's current position.
+func (nw *Network) Position(i int) Point { return nw.pos[i] }
+
+// Positions returns a copy of all node positions.
+func (nw *Network) Positions() []Point {
+	return append([]Point(nil), nw.pos...)
+}
+
+// Step advances the random-waypoint mobility by dt seconds: each node
+// moves toward its waypoint at its leg speed, pauses on arrival, then
+// picks a new leg. dt must be non-negative.
+func (nw *Network) Step(dt float64) error {
+	if dt < 0 {
+		return fmt.Errorf("topology: negative time step %g", dt)
+	}
+	for i := range nw.pos {
+		remaining := dt
+		for remaining > 0 {
+			if nw.pauseLeft[i] > 0 {
+				if nw.pauseLeft[i] >= remaining {
+					nw.pauseLeft[i] -= remaining
+					remaining = 0
+					break
+				}
+				remaining -= nw.pauseLeft[i]
+				nw.pauseLeft[i] = 0
+				nw.newLeg(i)
+			}
+			sp := nw.speed[i]
+			if sp <= 0 {
+				// Zero-speed leg: the node dwells until the next leg; to
+				// avoid an infinite loop treat it as pausing out the step.
+				remaining = 0
+				break
+			}
+			dist := nw.pos[i].DistTo(nw.waypoint[i])
+			travel := sp * remaining
+			if travel < dist {
+				f := travel / dist
+				nw.pos[i].X += (nw.waypoint[i].X - nw.pos[i].X) * f
+				nw.pos[i].Y += (nw.waypoint[i].Y - nw.pos[i].Y) * f
+				remaining = 0
+			} else {
+				nw.pos[i] = nw.waypoint[i]
+				remaining -= dist / sp
+				if nw.cfg.Pause > 0 {
+					nw.pauseLeft[i] = nw.cfg.Pause
+				} else {
+					nw.newLeg(i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsLink reports whether i and j are within transmission range.
+func (nw *Network) IsLink(i, j int) bool {
+	return i != j && nw.pos[i].DistTo(nw.pos[j]) <= nw.cfg.Range
+}
+
+// Neighbors returns the indices of node i's neighbors (fresh slice).
+func (nw *Network) Neighbors(i int) []int {
+	var out []int
+	for j := range nw.pos {
+		if nw.IsLink(i, j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Degree returns node i's neighbor count.
+func (nw *Network) Degree(i int) int {
+	d := 0
+	for j := range nw.pos {
+		if nw.IsLink(i, j) {
+			d++
+		}
+	}
+	return d
+}
+
+// AdjacencyLists returns the full neighbor structure.
+func (nw *Network) AdjacencyLists() [][]int {
+	out := make([][]int, nw.cfg.N)
+	for i := range out {
+		out[i] = nw.Neighbors(i)
+	}
+	return out
+}
+
+// Connected reports whether the current snapshot graph is connected.
+func (nw *Network) Connected() bool {
+	n := nw.cfg.N
+	if n <= 1 {
+		return true
+	}
+	visited := make([]bool, n)
+	queue := []int{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if !visited[v] && nw.IsLink(u, v) {
+				visited[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// HiddenNodes returns the nodes that can interfere at receiver r but are
+// invisible to transmitter t: neighbors of r that are neither neighbors
+// of t nor t itself. These are the classic hidden terminals for the
+// transmission t → r.
+func (nw *Network) HiddenNodes(t, r int) []int {
+	var out []int
+	for _, h := range nw.Neighbors(r) {
+		if h != t && !nw.IsLink(t, h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// MeanDegree returns the average neighbor count.
+func (nw *Network) MeanDegree() float64 {
+	var sum int
+	for i := 0; i < nw.cfg.N; i++ {
+		sum += nw.Degree(i)
+	}
+	return float64(sum) / float64(nw.cfg.N)
+}

@@ -1,0 +1,292 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustNetwork(t testing.TB, cfg Config) *Network {
+	t.Helper()
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return nw
+}
+
+func TestValidate(t *testing.T) {
+	good := PaperConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper config rejected: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no nodes", func(c *Config) { c.N = 0 }},
+		{"zero width", func(c *Config) { c.Width = 0 }},
+		{"zero range", func(c *Config) { c.Range = 0 }},
+		{"inverted speeds", func(c *Config) { c.MinSpeed = 5; c.MaxSpeed = 1 }},
+		{"negative pause", func(c *Config) { c.Pause = -1 }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			c := PaperConfig(1)
+			tc.mut(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatalf("accepted %s", tc.name)
+			}
+			if _, err := New(c); err == nil {
+				t.Fatalf("New accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestPaperConfigValues(t *testing.T) {
+	c := PaperConfig(7)
+	if c.N != 100 || c.Width != 1000 || c.Height != 1000 || c.Range != 250 || c.MaxSpeed != 5 {
+		t.Fatalf("paper config mismatch: %+v", c)
+	}
+}
+
+func TestPlacementInBounds(t *testing.T) {
+	nw := mustNetwork(t, PaperConfig(3))
+	for i, p := range nw.Positions() {
+		if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 1000 {
+			t.Fatalf("node %d placed out of bounds: %+v", i, p)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := mustNetwork(t, PaperConfig(5))
+	b := mustNetwork(t, PaperConfig(5))
+	for i := range a.Positions() {
+		if a.Position(i) != b.Position(i) {
+			t.Fatalf("same seed, different placement at node %d", i)
+		}
+	}
+	if err := a.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Positions() {
+		if a.Position(i) != b.Position(i) {
+			t.Fatalf("same seed, different trajectory at node %d", i)
+		}
+	}
+	c := mustNetwork(t, PaperConfig(6))
+	if c.Position(0) == a.Position(0) && c.Position(1) == a.Position(1) {
+		t.Fatal("different seeds produced identical placement")
+	}
+}
+
+func TestLinksSymmetricIrreflexive(t *testing.T) {
+	nw := mustNetwork(t, PaperConfig(11))
+	for i := 0; i < nw.N(); i++ {
+		if nw.IsLink(i, i) {
+			t.Fatalf("node %d linked to itself", i)
+		}
+		for j := i + 1; j < nw.N(); j++ {
+			if nw.IsLink(i, j) != nw.IsLink(j, i) {
+				t.Fatalf("asymmetric link %d-%d", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsMatchDegreeAndRange(t *testing.T) {
+	nw := mustNetwork(t, PaperConfig(13))
+	for i := 0; i < nw.N(); i++ {
+		nbrs := nw.Neighbors(i)
+		if len(nbrs) != nw.Degree(i) {
+			t.Fatalf("node %d: %d neighbors vs degree %d", i, len(nbrs), nw.Degree(i))
+		}
+		for _, j := range nbrs {
+			if d := nw.Position(i).DistTo(nw.Position(j)); d > 250 {
+				t.Fatalf("neighbor %d-%d at distance %g > range", i, j, d)
+			}
+		}
+	}
+}
+
+func TestAdjacencyListsConsistent(t *testing.T) {
+	nw := mustNetwork(t, PaperConfig(17))
+	adj := nw.AdjacencyLists()
+	for i, nbrs := range adj {
+		want := nw.Neighbors(i)
+		if len(nbrs) != len(want) {
+			t.Fatalf("node %d adjacency mismatch", i)
+		}
+	}
+}
+
+func TestConnectedLine(t *testing.T) {
+	// Three nodes in a line at spacing 200 with range 250: connected.
+	nw := mustNetwork(t, Config{N: 3, Width: 1000, Height: 10, Range: 250, Seed: 1})
+	nw.pos = []Point{{0, 0}, {200, 0}, {400, 0}}
+	if !nw.Connected() {
+		t.Fatal("line network should be connected")
+	}
+	// Move the last node out of range of both others.
+	nw.pos[2] = Point{900, 0}
+	if nw.Connected() {
+		t.Fatal("split network reported connected")
+	}
+}
+
+func TestConnectedSingleNode(t *testing.T) {
+	nw := mustNetwork(t, Config{N: 1, Width: 10, Height: 10, Range: 1, Seed: 1})
+	if !nw.Connected() {
+		t.Fatal("single node must count as connected")
+	}
+}
+
+func TestHiddenNodes(t *testing.T) {
+	// t --- r --- h: h is hidden from t (in range of r, out of range of t).
+	nw := mustNetwork(t, Config{N: 3, Width: 1000, Height: 10, Range: 250, Seed: 1})
+	nw.pos = []Point{{0, 0}, {200, 0}, {400, 0}}
+	hidden := nw.HiddenNodes(0, 1)
+	if len(hidden) != 1 || hidden[0] != 2 {
+		t.Fatalf("hidden nodes for 0->1 = %v, want [2]", hidden)
+	}
+	// From the middle node, nothing is hidden for 1 -> 0 except... node 2
+	// is a neighbor of 1 but not of 0, so for transmission 1->0 the
+	// receiver is 0; hidden = neighbors(0) \ neighbors(1) \ {1} = {}.
+	if h := nw.HiddenNodes(1, 0); len(h) != 0 {
+		t.Fatalf("hidden nodes for 1->0 = %v, want none", h)
+	}
+}
+
+func TestStepMovesTowardWaypoint(t *testing.T) {
+	cfg := Config{N: 1, Width: 1000, Height: 1000, Range: 100, MinSpeed: 2, MaxSpeed: 2, Seed: 9}
+	nw := mustNetwork(t, cfg)
+	start := nw.Position(0)
+	wp := nw.waypoint[0]
+	distBefore := start.DistTo(wp)
+	if err := nw.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	moved := start.DistTo(nw.Position(0))
+	if math.Abs(moved-2) > 1e-9 && distBefore > 2 {
+		t.Fatalf("node moved %g m in 1 s at 2 m/s", moved)
+	}
+	distAfter := nw.Position(0).DistTo(wp)
+	if distAfter >= distBefore {
+		t.Fatalf("node did not approach waypoint: %g -> %g", distBefore, distAfter)
+	}
+}
+
+func TestStepStaysInBounds(t *testing.T) {
+	nw := mustNetwork(t, PaperConfig(21))
+	for step := 0; step < 200; step++ {
+		if err := nw.Step(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range nw.Positions() {
+		if p.X < -1e-9 || p.X > 1000+1e-9 || p.Y < -1e-9 || p.Y > 1000+1e-9 {
+			t.Fatalf("node %d escaped the area after mobility: %+v", i, p)
+		}
+	}
+}
+
+func TestStepZeroSpeedStatic(t *testing.T) {
+	cfg := PaperConfig(23)
+	cfg.MinSpeed, cfg.MaxSpeed = 0, 0
+	nw := mustNetwork(t, cfg)
+	before := nw.Positions()
+	if err := nw.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range nw.Positions() {
+		if p != before[i] {
+			t.Fatalf("static network moved: node %d %+v -> %+v", i, before[i], p)
+		}
+	}
+}
+
+func TestStepRejectsNegative(t *testing.T) {
+	nw := mustNetwork(t, PaperConfig(29))
+	if err := nw.Step(-1); err == nil {
+		t.Fatal("negative dt accepted")
+	}
+}
+
+func TestPauseDelaysNewLeg(t *testing.T) {
+	cfg := Config{N: 1, Width: 100, Height: 100, Range: 10, MinSpeed: 50, MaxSpeed: 50, Pause: 1000, Seed: 31}
+	nw := mustNetwork(t, cfg)
+	// At 50 m/s in a 100x100 box, the waypoint is reached within ~3 s;
+	// then the node pauses for 1000 s.
+	if err := nw.Step(5); err != nil {
+		t.Fatal(err)
+	}
+	posAtPause := nw.Position(0)
+	if err := nw.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Position(0) != posAtPause {
+		t.Fatalf("node moved during pause: %+v -> %+v", posAtPause, nw.Position(0))
+	}
+}
+
+func TestMeanDegreeMatchesDensity(t *testing.T) {
+	// Expected degree ≈ (n-1) * (pi r^2 / area) for uniform placement,
+	// reduced by boundary effects; check the right ballpark.
+	nw := mustNetwork(t, PaperConfig(37))
+	got := nw.MeanDegree()
+	ideal := 99 * math.Pi * 250 * 250 / 1e6 // ≈ 19.4 ignoring edges
+	if got < 0.6*ideal || got > 1.1*ideal {
+		t.Fatalf("mean degree %g implausible (ideal ~%g)", got, ideal)
+	}
+}
+
+func TestDistTo(t *testing.T) {
+	if d := (Point{0, 0}).DistTo(Point{3, 4}); d != 5 {
+		t.Fatalf("DistTo = %g, want 5", d)
+	}
+	if d := (Point{1, 1}).DistTo(Point{1, 1}); d != 0 {
+		t.Fatalf("DistTo self = %g", d)
+	}
+}
+
+// Property: after arbitrary mobility, links remain symmetric and the
+// hidden-node sets are consistent with the link structure.
+func TestMobilityInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		cfg := PaperConfig(seed)
+		cfg.N = 25
+		nw, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < int(steps%20); s++ {
+			if err := nw.Step(7); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < nw.N(); i++ {
+			for j := 0; j < nw.N(); j++ {
+				if i != j && nw.IsLink(i, j) != nw.IsLink(j, i) {
+					return false
+				}
+			}
+		}
+		// Hidden nodes must be neighbors of r and not of t.
+		for _, r := range nw.Neighbors(0) {
+			for _, h := range nw.HiddenNodes(0, r) {
+				if !nw.IsLink(r, h) || nw.IsLink(0, h) || h == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
