@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test cover bench experiments experiments-quick fmt
+.PHONY: all build vet test test-race cover bench bench-quick experiments experiments-quick fmt
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	go build ./...
@@ -13,11 +13,21 @@ vet:
 test:
 	go test ./...
 
+# The worker pools and the shared solver cache make the suite
+# concurrency-heavy; run it under the race detector too.
+test-race:
+	go test -race ./...
+
 cover:
 	go test -cover ./...
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# One iteration per benchmark: times the harness and smoke-checks every
+# benchmark (including the solver-cache counters) in seconds, not minutes.
+bench-quick:
+	go test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
 # Regenerate every paper table/figure into results/ (paper-faithful scale).
 experiments:

@@ -15,6 +15,7 @@ package selfishmac_test
 import (
 	"testing"
 
+	"selfishmac/internal/bianchi"
 	"selfishmac/internal/experiments"
 )
 
@@ -175,4 +176,48 @@ func BenchmarkGTFTTradeoff(b *testing.B) {
 func BenchmarkDelayAnalysis(b *testing.B) {
 	runExperiment(b, experiments.DelayAnalysis,
 		"basic_n20_delay_at_ne_ms", "basic_n20_payoff_ratio_at_delay_min")
+}
+
+// BenchmarkSolverCache measures the memoized Bianchi solver on the
+// figure-style workload that motivates it: the same (w, n) grid solved
+// repeatedly, as the sweep experiments do across populations and modes.
+// It reports the cache hit/miss counters accumulated over the run; after
+// the first grid pass every solve is a hit, so hits/op approaches the
+// grid size while misses/op approaches zero.
+func BenchmarkSolverCache(b *testing.B) {
+	s := experiments.QuickSettings()
+	if _, err := experiments.Figure2(s); err != nil { // warm the cache once
+		b.Fatal(err)
+	}
+	h0, m0 := bianchi.CacheStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	h1, m1 := bianchi.CacheStats()
+	b.ReportMetric(float64(h1-h0)/float64(b.N), "cache-hits/op")
+	b.ReportMetric(float64(m1-m0)/float64(b.N), "cache-misses/op")
+}
+
+// TestSolverCacheEffectiveness pins the acceptance criterion for the
+// memoization: a repeated analytic sweep must be served at least 2x more
+// from the cache than from fresh fixed-point solves.
+func TestSolverCacheEffectiveness(t *testing.T) {
+	bianchi.ResetCache()
+	s := experiments.QuickSettings()
+	for round := 0; round < 3; round++ {
+		if _, err := experiments.Figure2(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := bianchi.CacheStats()
+	if misses == 0 {
+		t.Fatal("sweep performed no solves")
+	}
+	if hits < 2*misses {
+		t.Errorf("cache ineffective: %d hits < 2x %d misses", hits, misses)
+	}
 }

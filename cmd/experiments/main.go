@@ -3,12 +3,20 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-out results] [-only T2,F3] [-seed 1]
+//	experiments [-quick] [-out results] [-only T2,F3] [-seed 1] [-jobs 4]
 //
 // With no flags it runs the full paper-faithful profile (1000-second
 // single-hop simulations, the 100-node mobile scenario); -quick switches
 // to a fast smoke profile. Each experiment writes <id>.txt with its
 // rendered tables/charts and metric summary, plus any CSV artifacts.
+//
+// -jobs bounds the concurrency at both levels: how many experiment
+// runners execute at once and how many workers each runner fans its
+// sweep points over (0 means GOMAXPROCS). Every random draw comes from a
+// seed derived per (experiment, stream, index), so the reports and
+// artifacts are byte-identical at every -jobs value; only the wall-clock
+// changes. Reports are printed and written in registry order regardless
+// of completion order.
 package main
 
 import (
@@ -16,7 +24,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"selfishmac/internal/experiments"
@@ -29,12 +39,19 @@ func main() {
 	}
 }
 
+type runnerResult struct {
+	rep     *experiments.Report
+	err     error
+	elapsed time.Duration
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "use the fast smoke profile instead of the paper-faithful one")
 	out := fs.String("out", "results", "output directory")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	seed := fs.Uint64("seed", 1, "master random seed")
+	jobs := fs.Int("jobs", 0, "max concurrent experiment runners and per-runner sweep workers (0 = GOMAXPROCS)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +70,7 @@ func run(args []string) error {
 		settings = experiments.QuickSettings()
 	}
 	settings.Seed = *seed
+	settings.Workers = *jobs
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -65,24 +83,59 @@ func run(args []string) error {
 		return err
 	}
 
-	var failures int
+	selected := all[:0:0]
 	for _, r := range all {
 		if len(want) > 0 && !want[r.ID] {
 			continue
 		}
-		start := time.Now()
+		selected = append(selected, r)
+	}
+
+	// Run the selected experiments over a bounded pool; each result lands
+	// in its registry slot so reporting below is order-deterministic no
+	// matter which runner finishes first.
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	results := make([]runnerResult, len(selected))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				rep, err := selected[i].Run(settings)
+				results[i] = runnerResult{rep: rep, err: err, elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range selected {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var failures int
+	for i, r := range selected {
+		res := results[i]
 		fmt.Printf("=== %s: %s\n", r.ID, r.Name)
-		rep, err := r.Run(settings)
-		if err != nil {
+		if res.err != nil {
 			failures++
-			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", r.ID, err)
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", r.ID, res.err)
 			continue
 		}
+		rep := res.rep
 		fmt.Print(rep.Text)
 		if len(rep.Metrics) > 0 {
 			fmt.Println(rep.MetricsSummary())
 		}
-		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", r.ID, res.elapsed.Round(time.Millisecond))
 
 		body := rep.Text + "\n" + rep.MetricsSummary()
 		if err := os.WriteFile(filepath.Join(*out, strings.ToLower(r.ID)+".txt"), []byte(body), 0o644); err != nil {

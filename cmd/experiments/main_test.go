@@ -51,6 +51,41 @@ func TestRunOnlyFilterSkipsOthers(t *testing.T) {
 	}
 }
 
+// TestJobsByteIdentical is the determinism contract of the -jobs flag:
+// the artifact files a parallel run writes must be byte-identical to the
+// serial run's. T1 is static, A4 draws from derived RNG streams, and F2
+// exercises the figure pipeline's worker fan-out.
+func TestJobsByteIdentical(t *testing.T) {
+	serial := t.TempDir()
+	parallel := t.TempDir()
+	if err := run([]string{"-quick", "-jobs", "1", "-out", serial, "-only", "T1,A4,F2"}); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if err := run([]string{"-quick", "-jobs", "4", "-out", parallel, "-only", "T1,A4,F2"}); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	names, err := os.ReadDir(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("serial run wrote no artifacts")
+	}
+	for _, e := range names {
+		want, err := os.ReadFile(filepath.Join(serial, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(parallel, e.Name()))
+		if err != nil {
+			t.Fatalf("parallel run missing %s: %v", e.Name(), err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s differs between -jobs 1 and -jobs 4", e.Name())
+		}
+	}
+}
+
 func TestRunCreatesOutputDir(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "nested", "results")
 	if err := run([]string{"-quick", "-out", dir, "-only", "T1"}); err != nil {

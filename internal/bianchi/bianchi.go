@@ -228,7 +228,9 @@ func (m *Model) Solve(w []int) (*Solution, error) {
 //	τ = Tau(w, 1 − (1−τ)^(n−1)),
 //
 // whose right-hand side is decreasing in τ while the left is increasing,
-// so bisection on the difference finds the unique crossing.
+// so bisection on the difference finds the unique crossing. Solved points
+// are memoized in the process-wide cache (see cache.go); a cached result
+// is bit-identical to the direct solve.
 func (m *Model) SolveUniform(w, n int) (*Solution, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("bianchi: n = %d must be >= 1", n)
@@ -236,6 +238,28 @@ func (m *Model) SolveUniform(w, n int) (*Solution, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("bianchi: CW %d < 1", w)
 	}
+	key := m.uniformKey(w, n)
+	if pt, ok := sharedCache.lookup(key); ok {
+		return uniformSolution(w, n, pt), nil
+	}
+	sol, err := m.solveUniformUncached(w, n)
+	if err != nil {
+		return nil, err
+	}
+	sharedCache.store(key, cachedPoint{
+		tauDev:  sol.Tau[0],
+		tauBase: sol.Tau[0],
+		pDev:    sol.P[0],
+		pBase:   sol.P[0],
+		stats:   sol.SlotStats,
+		iters:   sol.Iterations,
+	})
+	return sol, nil
+}
+
+// solveUniformUncached performs the actual uniform solve; SolveUniform
+// wraps it with memoization.
+func (m *Model) solveUniformUncached(w, n int) (*Solution, error) {
 	var tau float64
 	if n == 1 {
 		tau = m.Tau(w, 0)
@@ -284,7 +308,9 @@ func (m *Model) uniformSlotStats(tau float64, n int) SlotStats {
 // the returned solution) uses wDev while the remaining n−1 nodes use
 // wBase. Exploiting the two-class symmetry reduces the system to two
 // unknowns, which matters because deviation analyses sweep wDev over the
-// whole strategy space.
+// whole strategy space. Solved points are memoized in the process-wide
+// cache (see cache.go); a cached result is bit-identical to the direct
+// solve.
 func (m *Model) SolveDeviation(wDev, wBase, n int) (*Solution, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("bianchi: deviation analysis needs n >= 2, got %d", n)
@@ -295,6 +321,29 @@ func (m *Model) SolveDeviation(wDev, wBase, n int) (*Solution, error) {
 	if wDev == wBase {
 		return m.SolveUniform(wBase, n)
 	}
+	key := m.deviationKey(wDev, wBase, n)
+	if pt, ok := sharedCache.lookup(key); ok {
+		return deviationSolution(wDev, wBase, n, pt), nil
+	}
+	sol, err := m.solveDeviationUncached(wDev, wBase, n)
+	if err != nil {
+		return nil, err
+	}
+	sharedCache.store(key, cachedPoint{
+		tauDev:  sol.Tau[0],
+		tauBase: sol.Tau[1],
+		pDev:    sol.P[0],
+		pBase:   sol.P[1],
+		stats:   sol.SlotStats,
+		iters:   sol.Iterations,
+	})
+	return sol, nil
+}
+
+// solveDeviationUncached performs the actual two-class solve;
+// SolveDeviation wraps it with memoization. Callers guarantee n >= 2 and
+// wDev != wBase.
+func (m *Model) solveDeviationUncached(wDev, wBase, n int) (*Solution, error) {
 	// Unknowns x = [τ_dev, τ_base].
 	iterate := func(in, out []float64) {
 		tDev := num.Clamp(in[0], 0, 1)

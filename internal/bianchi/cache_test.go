@@ -1,0 +1,237 @@
+package bianchi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"selfishmac/internal/phy"
+	"selfishmac/internal/rng"
+)
+
+// solutionsBitIdentical compares every field of two solutions with exact
+// (bitwise) float equality — the cache contract is bit-identity, not
+// tolerance-level agreement.
+func solutionsBitIdentical(a, b *Solution) error {
+	if len(a.W) != len(b.W) {
+		return fmt.Errorf("profile lengths %d vs %d", len(a.W), len(b.W))
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			return fmt.Errorf("W[%d]: %d vs %d", i, a.W[i], b.W[i])
+		}
+		if a.Tau[i] != b.Tau[i] {
+			return fmt.Errorf("Tau[%d]: %v vs %v", i, a.Tau[i], b.Tau[i])
+		}
+		if a.P[i] != b.P[i] {
+			return fmt.Errorf("P[%d]: %v vs %v", i, a.P[i], b.P[i])
+		}
+	}
+	if a.SlotStats != b.SlotStats {
+		return fmt.Errorf("slot stats %+v vs %+v", a.SlotStats, b.SlotStats)
+	}
+	if a.Iterations != b.Iterations {
+		return fmt.Errorf("iterations %d vs %d", a.Iterations, b.Iterations)
+	}
+	return nil
+}
+
+func randomModel(t *testing.T, r *rng.Source) *Model {
+	t.Helper()
+	mode := phy.Basic
+	if r.Intn(2) == 1 {
+		mode = phy.RTSCTS
+	}
+	p := phy.Default()
+	tm, err := p.Timing(mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(tm, r.Intn(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCachedUniformBitIdentical is the cache-correctness property test:
+// over a randomized (w, n, m, mode) grid, a cached SolveUniform result —
+// both the one that populates the cache and the one served from it — is
+// bit-identical to the uncached solve.
+func TestCachedUniformBitIdentical(t *testing.T) {
+	ResetCache()
+	r := rng.New(0xb1a7c41)
+	for trial := 0; trial < 200; trial++ {
+		m := randomModel(t, r)
+		w := 1 + r.Intn(2048)
+		n := 1 + r.Intn(40)
+		direct, err := m.solveUniformUncached(w, n)
+		if err != nil {
+			t.Fatalf("trial %d: uncached: %v", trial, err)
+		}
+		first, err := m.SolveUniform(w, n)
+		if err != nil {
+			t.Fatalf("trial %d: cached (populate): %v", trial, err)
+		}
+		if err := solutionsBitIdentical(direct, first); err != nil {
+			t.Fatalf("trial %d (w=%d, n=%d, m=%d, %v): populate pass: %v",
+				trial, w, n, m.MaxStage, m.Timing.Mode, err)
+		}
+		second, err := m.SolveUniform(w, n)
+		if err != nil {
+			t.Fatalf("trial %d: cached (hit): %v", trial, err)
+		}
+		if err := solutionsBitIdentical(direct, second); err != nil {
+			t.Fatalf("trial %d (w=%d, n=%d, m=%d, %v): hit pass: %v",
+				trial, w, n, m.MaxStage, m.Timing.Mode, err)
+		}
+		// The served solution must not alias the cache: mutating it and
+		// re-querying must return the original values.
+		second.Tau[0] = -1
+		second.W[0] = -1
+		third, err := m.SolveUniform(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := solutionsBitIdentical(direct, third); err != nil {
+			t.Fatalf("trial %d: cache corrupted by caller mutation: %v", trial, err)
+		}
+	}
+	if hits, misses := CacheStats(); hits == 0 || misses == 0 {
+		t.Fatalf("expected both hits and misses, got hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestCachedDeviationBitIdentical is the same property for SolveDeviation.
+func TestCachedDeviationBitIdentical(t *testing.T) {
+	ResetCache()
+	r := rng.New(0xdee7a11)
+	for trial := 0; trial < 200; trial++ {
+		m := randomModel(t, r)
+		wDev := 1 + r.Intn(2048)
+		wBase := 1 + r.Intn(2048)
+		if wDev == wBase {
+			wBase++
+		}
+		n := 2 + r.Intn(40)
+		direct, err := m.solveDeviationUncached(wDev, wBase, n)
+		if err != nil {
+			t.Fatalf("trial %d: uncached: %v", trial, err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			sol, err := m.SolveDeviation(wDev, wBase, n)
+			if err != nil {
+				t.Fatalf("trial %d pass %d: %v", trial, pass, err)
+			}
+			if err := solutionsBitIdentical(direct, sol); err != nil {
+				t.Fatalf("trial %d pass %d (dev=%d, base=%d, n=%d, m=%d, %v): %v",
+					trial, pass, wDev, wBase, n, m.MaxStage, m.Timing.Mode, err)
+			}
+		}
+	}
+}
+
+// TestCacheKeysDistinguishPhysics guards against key aliasing: the same
+// (w, n) under different access modes or backoff stages must not share an
+// entry.
+func TestCacheKeysDistinguishPhysics(t *testing.T) {
+	ResetCache()
+	p := phy.Default()
+	basic, err := New(p.MustTiming(phy.Basic), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, err := New(p.MustTiming(phy.RTSCTS), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := New(p.MustTiming(phy.Basic), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := basic.SolveUniform(64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rts.SolveUniform(64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := shallow.SolveUniform(64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput == b.Throughput {
+		t.Error("basic and RTS/CTS solves aliased in the cache")
+	}
+	if a.Tau[0] == c.Tau[0] {
+		t.Error("m=6 and m=2 solves aliased in the cache")
+	}
+	if got := CacheSize(); got != 3 {
+		t.Errorf("cache size = %d, want 3 distinct entries", got)
+	}
+}
+
+// TestCacheConcurrentSolves hammers one operating-point grid from many
+// goroutines; under -race this validates the locking, and every result
+// must equal the serial solve.
+func TestCacheConcurrentSolves(t *testing.T) {
+	ResetCache()
+	p := phy.Default()
+	m, err := New(p.MustTiming(phy.Basic), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type point struct{ w, n int }
+	grid := make([]point, 0, 64)
+	for w := 1; w <= 256; w *= 2 {
+		for n := 2; n <= 16; n += 2 {
+			grid = append(grid, point{w, n})
+		}
+	}
+	want := make(map[point]*Solution, len(grid))
+	for _, pt := range grid {
+		sol, err := m.solveUniformUncached(pt.w, pt.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[pt] = sol
+	}
+	const workers = 8
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for _, pt := range grid {
+					sol, err := m.SolveUniform(pt.w, pt.n)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if err := solutionsBitIdentical(want[pt], sol); err != nil {
+						errc <- fmt.Errorf("goroutine %d (w=%d, n=%d): %w", g, pt.w, pt.n, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	hits, misses := CacheStats()
+	if misses > uint64(len(grid)*workers) {
+		// Concurrent first lookups of a point may each miss before the
+		// first store lands (at most one per worker per point); anything
+		// beyond that means the cache is not actually retaining entries.
+		t.Errorf("misses = %d for %d distinct points across %d workers", misses, len(grid), workers)
+	}
+	if hits == 0 {
+		t.Error("no hits recorded")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"selfishmac/internal/phy"
 	"selfishmac/internal/plot"
 	"selfishmac/internal/ratecontrol"
+	"selfishmac/internal/rng"
 )
 
 // BackoffStageAblation (A6) quantifies how the unstated-in-the-paper
@@ -185,7 +186,7 @@ func Detection(s Settings) (*Report, error) {
 				MaxStage: p.MaxBackoffStage,
 				CW:       cw,
 				Duration: window,
-				Seed:     s.Seed + uint64(cheat),
+				Seed:     rng.DeriveSeed(s.Seed, "D1", cases),
 				Gain:     1,
 				Cost:     0.01,
 			})

@@ -10,6 +10,7 @@ import (
 	"selfishmac/internal/macsim"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/plot"
+	"selfishmac/internal/rng"
 )
 
 // ClosedLoop (D2) runs the full pipeline the paper sketches but never
@@ -61,7 +62,7 @@ func ClosedLoop(s Settings) (*Report, error) {
 		for i := range strats {
 			strats[i] = tc.mk()
 		}
-		final, err := runClosedLoop(g, strats, tc.window*1e6, 25, s.Seed)
+		final, err := runClosedLoop(g, strats, tc.window*1e6, 25, rng.DeriveSeed(s.Seed, "D2."+tc.metric, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +202,7 @@ func runClosedLoop(g *core.Game, strategies []core.Strategy, stageTime float64, 
 			MaxStage: p.MaxBackoffStage,
 			CW:       append([]int(nil), profile...),
 			Duration: stageTime,
-			Seed:     seed + uint64(k)*0x9e3779b97f4a7c15,
+			Seed:     rng.DeriveSeed(seed, "closedloop.stage", k),
 			Gain:     g.Config().Gain,
 			Cost:     g.Config().Cost,
 		})

@@ -7,6 +7,7 @@ import (
 	"selfishmac/internal/core"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/plot"
+	"selfishmac/internal/rng"
 )
 
 // ShortSighted reproduces the Section V.D analysis: for a range of
@@ -168,7 +169,7 @@ func LemmaChecks(s Settings) (*Report, error) {
 			return nil, err
 		}
 		lemma1Viol, lemma4Viol := 0, 0
-		r := newSeededRand(s.Seed + uint64(mode))
+		r := newSeededRand(rng.DeriveSeed(s.Seed, "A4", int(mode)))
 		for trial := 0; trial < trials; trial++ {
 			// Lemma 1 on a random heterogeneous profile.
 			w := make([]int, 8)

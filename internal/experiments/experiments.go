@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -45,8 +46,13 @@ func (r *Report) Metric(key string, v float64) {
 	r.Metrics[key] = v
 }
 
-// MetricsSummary renders the metrics sorted by key.
+// MetricsSummary renders the metrics sorted by key. It is safe on a nil
+// report and on a report with no metrics (both render empty), so callers
+// can print it unconditionally after a partial failure.
 func (r *Report) MetricsSummary() string {
+	if r == nil || len(r.Metrics) == 0 {
+		return ""
+	}
 	keys := make([]string, 0, len(r.Metrics))
 	for k := range r.Metrics {
 		keys = append(keys, k)
@@ -75,8 +81,24 @@ type Settings struct {
 	MultihopNodes int
 	// FigurePoints is the number of CW values per figure series.
 	FigurePoints int
-	// Seed drives every stochastic component.
+	// Seed drives every stochastic component. Per-component streams are
+	// derived from it with rng.DeriveSeed, so no two components share a
+	// stream regardless of how many points or replicas they draw.
 	Seed uint64
+	// Workers bounds the goroutines each experiment may fan out over its
+	// independent sweep points, figure series and replicas. 0 (the
+	// default) means GOMAXPROCS. Results are bit-identical at every
+	// worker count, including 1 (fully serial).
+	Workers int
+}
+
+// workerCount resolves the Workers setting (0 → GOMAXPROCS) for the
+// pool helpers in this package and in internal/multihop.
+func (s Settings) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultSettings reproduces the paper's scales (1000 s single-hop

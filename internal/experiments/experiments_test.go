@@ -489,3 +489,54 @@ func TestTFTConvergenceReport(t *testing.T) {
 			rep.Metrics["noisy_gtft_final"], rep.Metrics["noisy_tft_final"])
 	}
 }
+
+// TestParallelMatchesSerial pins the determinism contract of the worker
+// pools: every experiment must produce bit-identical reports (text,
+// metrics, artifact bytes) at Workers=1 and Workers=4. Each parallel run
+// writes only index-owned slots and draws from per-index derived seed
+// streams, so worker count can only change wall-clock, never results.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			serial := QuickSettings()
+			serial.Workers = 1
+			parallel := QuickSettings()
+			parallel.Workers = 4
+			want, err := r.Run(serial)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			got, err := r.Run(parallel)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if got.Text != want.Text {
+				t.Errorf("report text differs between Workers=1 and Workers=4")
+			}
+			if len(got.Metrics) != len(want.Metrics) {
+				t.Fatalf("metric count %d != %d", len(got.Metrics), len(want.Metrics))
+			}
+			for k, v := range want.Metrics {
+				if gv, ok := got.Metrics[k]; !ok || gv != v {
+					t.Errorf("metric %s: parallel %v, serial %v", k, gv, v)
+				}
+			}
+			if len(got.Artifacts) != len(want.Artifacts) {
+				t.Fatalf("artifact count %d != %d", len(got.Artifacts), len(want.Artifacts))
+			}
+			for i := range want.Artifacts {
+				if got.Artifacts[i].Name != want.Artifacts[i].Name {
+					t.Errorf("artifact %d name %q != %q", i, got.Artifacts[i].Name, want.Artifacts[i].Name)
+				}
+				if got.Artifacts[i].Content != want.Artifacts[i].Content {
+					t.Errorf("artifact %s bytes differ between worker counts", want.Artifacts[i].Name)
+				}
+			}
+		})
+	}
+}

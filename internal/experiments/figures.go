@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -9,8 +10,23 @@ import (
 	"selfishmac/internal/macsim"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/plot"
+	"selfishmac/internal/rng"
 	"selfishmac/internal/stats"
 )
+
+// figureSeries is one population's analytic curve with its rendered CSV
+// and headline metrics, produced independently per index so the series
+// can be computed in parallel and assembled in deterministic order.
+type figureSeries struct {
+	label   string
+	xs, ys  []float64
+	csvName string
+	csv     string
+	metrics []struct {
+		key string
+		v   float64
+	}
+}
 
 // figure computes the paper's Figures 2/3: normalized global payoff U/C as
 // a function of the common CW value, one series per population size.
@@ -27,53 +43,79 @@ func figure(id, title string, mode phy.AccessMode, s Settings) (*Report, error) 
 		Height: 22,
 	}
 	rep := &Report{ID: id, Title: title}
-	for _, n := range tablePopulations {
+	workers := s.workerCount()
+	series := make([]figureSeries, len(tablePopulations))
+	err := forEachIndex(len(tablePopulations), workers, func(k int) error {
+		n := tablePopulations[k]
+		out := &series[k]
 		g, err := core.NewGame(core.DefaultConfig(n, mode))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ne, err := g.FindPaperNE()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Log-spaced CW grid covering the peak comfortably.
 		wMax := ne.WStar * 8
 		if wMax < 64 {
 			wMax = 64
 		}
-		xs, ys, err := payoffCurve(g, wMax, s.FigurePoints)
+		xs, ys, err := payoffCurve(g, wMax, s.FigurePoints, workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		chart.Add(fmt.Sprintf("n=%d (Wc*=%d)", n, ne.WStar), xs, ys)
+		out.label = fmt.Sprintf("n=%d (Wc*=%d)", n, ne.WStar)
+		out.xs, out.ys = xs, ys
 		var csv strings.Builder
 		if err := plot.WriteCSV(&csv, []string{"w", "uc"}, xs, ys); err != nil {
-			return nil, err
+			return err
 		}
-		rep.Artifacts = append(rep.Artifacts, Artifact{
-			Name:    fmt.Sprintf("%s_n%d.csv", strings.ToLower(id), n),
-			Content: csv.String(),
-		})
+		out.csvName = fmt.Sprintf("%s_n%d.csv", strings.ToLower(id), n)
+		out.csv = csv.String()
 
 		// Headline metrics: peak location/value and plateau flatness
 		// (payoff retention at 0.5x and 2x the NE CW).
-		peakW, peakU := curvePeak(xs, ys)
-		rep.Metric(fmt.Sprintf("n%d_peak_w", n), peakW)
-		rep.Metric(fmt.Sprintf("n%d_peak_uc", n), peakU)
+		peakW, peakU, ok := curvePeak(xs, ys)
+		if !ok {
+			return fmt.Errorf("%s: payoff curve for n=%d: %w", id, n, errEmptySeries)
+		}
+		addMetric := func(key string, v float64) {
+			out.metrics = append(out.metrics, struct {
+				key string
+				v   float64
+			}{key, v})
+		}
+		addMetric(fmt.Sprintf("n%d_peak_w", n), peakW)
+		addMetric(fmt.Sprintf("n%d_peak_uc", n), peakU)
 		for _, f := range []float64{0.5, 2} {
 			u, err := g.NormalizedGlobalPayoff(int(float64(ne.WStar)*f + 0.5))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rep.Metric(fmt.Sprintf("n%d_retention_%gx", n, f), u/peakU)
+			addMetric(fmt.Sprintf("n%d_retention_%gx", n, f), u/peakU)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sr := range series {
+		chart.Add(sr.label, sr.xs, sr.ys)
+		rep.Artifacts = append(rep.Artifacts, Artifact{Name: sr.csvName, Content: sr.csv})
+		for _, m := range sr.metrics {
+			rep.Metric(m.key, m.v)
 		}
 	}
 	// Overlay a simulated U/C series for n = 20: the event-driven
 	// simulator independently traces the same curve, validating the
 	// analytic figure end to end. U/C = (global payoff rate)·σ/g.
-	simXs, simYs, maxRel, err := simulatedCurve(mode, 20, s)
+	simXs, simYs, maxRel, err := simulatedCurve(id, mode, 20, s)
 	if err != nil {
 		return nil, err
+	}
+	if len(simXs) == 0 {
+		return nil, fmt.Errorf("%s: simulated overlay: %w", id, errEmptySeries)
 	}
 	chart.Add("n=20 simulated", simXs, simYs)
 	rep.Metric("n20_sim_vs_analytic_maxrel", maxRel)
@@ -96,8 +138,11 @@ func figure(id, title string, mode phy.AccessMode, s Settings) (*Report, error) 
 
 // simulatedCurve measures U/C at ~9 log-spaced CW values with the MAC
 // simulator and returns the series plus the maximum relative deviation
-// from the analytic curve.
-func simulatedCurve(mode phy.AccessMode, n int, s Settings) (xs, ys []float64, maxRel float64, err error) {
+// from the analytic curve. The simulator runs with the *configured* gain
+// and cost (it used to hardcode g = 1, e = 0.01, silently diverging from
+// the analytic overlay for any non-default config), and each operating
+// point draws from its own derived seed stream.
+func simulatedCurve(id string, mode phy.AccessMode, n int, s Settings) (xs, ys []float64, maxRel float64, err error) {
 	p := phy.Default()
 	tm, err := p.Timing(mode)
 	if err != nil {
@@ -107,6 +152,7 @@ func simulatedCurve(mode phy.AccessMode, n int, s Settings) (xs, ys []float64, m
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	cfg := g.Config()
 	ne, err := g.FindPaperNE()
 	if err != nil {
 		return nil, nil, 0, err
@@ -116,6 +162,7 @@ func simulatedCurve(mode phy.AccessMode, n int, s Settings) (xs, ys []float64, m
 		duration = 200e6 // the curve needs shape, not 1000 s per point
 	}
 	seen := map[int]bool{}
+	var grid []int
 	for i := 0; i < 9; i++ {
 		f := float64(i) / 8
 		w := int(math.Round(math.Pow(float64(ne.WStar*6), f)))
@@ -123,29 +170,46 @@ func simulatedCurve(mode phy.AccessMode, n int, s Settings) (xs, ys []float64, m
 			continue
 		}
 		seen[w] = true
-		res, err := macsim.RunUniform(tm, p.MaxBackoffStage, w, n, duration, 1, 0.01, s.Seed+uint64(100+i))
+		grid = append(grid, w)
+	}
+	xs = make([]float64, len(grid))
+	ys = make([]float64, len(grid))
+	rels := make([]float64, len(grid))
+	err = forEachIndex(len(grid), s.workerCount(), func(i int) error {
+		w := grid[i]
+		res, err := macsim.RunUniform(tm, p.MaxBackoffStage, w, n, duration,
+			cfg.Gain, cfg.Cost, rng.DeriveSeed(s.Seed, id+".sim", i))
 		if err != nil {
-			return nil, nil, 0, err
+			return err
 		}
-		uc := res.GlobalPayoffRate() * tm.Slot / 1.0
-		xs = append(xs, float64(w))
-		ys = append(ys, uc)
+		uc := res.GlobalPayoffRate() * tm.Slot / cfg.Gain
+		xs[i] = float64(w)
+		ys[i] = uc
 		analytic, err := g.NormalizedGlobalPayoff(w)
 		if err != nil {
-			return nil, nil, 0, err
+			return err
 		}
-		if rel := stats.RelErr(uc, analytic); rel > maxRel {
+		rels[i] = stats.RelErr(uc, analytic)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, rel := range rels {
+		if rel > maxRel {
 			maxRel = rel
 		}
 	}
 	return xs, ys, maxRel, nil
 }
 
-// payoffCurve evaluates U/C on a log grid of CW values in [1, wMax]. The
-// different series lengths per n are intentional (each spans its own
-// peak), so the CSV writes per-series x columns.
-func payoffCurve(g *core.Game, wMax, points int) (xs, ys []float64, err error) {
+// payoffCurve evaluates U/C on a log grid of CW values in [1, wMax],
+// fanning the independent solves over the worker pool. The different
+// series lengths per n are intentional (each spans its own peak), so the
+// CSV writes per-series x columns.
+func payoffCurve(g *core.Game, wMax, points, workers int) (xs, ys []float64, err error) {
 	seen := map[int]bool{}
+	var grid []int
 	for i := 0; i < points; i++ {
 		f := float64(i) / float64(points-1)
 		w := int(math.Round(math.Pow(float64(wMax), f)))
@@ -156,24 +220,42 @@ func payoffCurve(g *core.Game, wMax, points int) (xs, ys []float64, err error) {
 			continue
 		}
 		seen[w] = true
-		u, err := g.NormalizedGlobalPayoff(w)
+		grid = append(grid, w)
+	}
+	xs = make([]float64, len(grid))
+	ys = make([]float64, len(grid))
+	err = forEachIndex(len(grid), workers, func(i int) error {
+		u, err := g.NormalizedGlobalPayoff(grid[i])
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		xs = append(xs, float64(w))
-		ys = append(ys, u)
+		xs[i] = float64(grid[i])
+		ys[i] = u
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return xs, ys, nil
 }
 
-func curvePeak(xs, ys []float64) (x, y float64) {
+// errEmptySeries is the sentinel curvePeak reports through its ok result;
+// figure() turns it into a proper error instead of the old panic.
+var errEmptySeries = errors.New("experiments: empty series")
+
+// curvePeak returns the (x, y) of the maximum y. ok is false — and both
+// coordinates are NaN — when the series is empty; it used to panic.
+func curvePeak(xs, ys []float64) (x, y float64, ok bool) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return math.NaN(), math.NaN(), false
+	}
 	x, y = xs[0], ys[0]
 	for i := range xs {
 		if ys[i] > y {
 			x, y = xs[i], ys[i]
 		}
 	}
-	return x, y
+	return x, y, true
 }
 
 // Figure2 reproduces Figure 2 (basic access).

@@ -8,6 +8,7 @@ import (
 	"selfishmac/internal/multihop"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/plot"
+	"selfishmac/internal/rng"
 	"selfishmac/internal/stats"
 	"selfishmac/internal/topology"
 )
@@ -22,7 +23,7 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	topoCfg := topology.PaperConfig(s.Seed)
+	topoCfg := topology.PaperConfig(rng.DeriveSeed(s.Seed, "M1.topology", 0))
 	topoCfg.N = s.MultihopNodes
 	nw, err := topology.New(topoCfg)
 	if err != nil {
@@ -55,7 +56,7 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 	for i := range strats {
 		strats[i] = core.TFT{Initial: profile[i]}
 	}
-	eng, err := multihop.NewEngine(nw, strats, multihop.DefaultSimConfig(2e6, s.Seed+5))
+	eng, err := multihop.NewEngine(nw, strats, multihop.DefaultSimConfig(2e6, rng.DeriveSeed(s.Seed, "M1.engine", 0)))
 	if err != nil {
 		return nil, err
 	}
@@ -65,10 +66,11 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 	}
 
 	res, err := multihop.MeasureQuasiOptimality(nw, multihop.QuasiOptConfig{
-		Sim:              multihop.DefaultSimConfig(s.MultihopSimTime, s.Seed),
+		Sim:              multihop.DefaultSimConfig(s.MultihopSimTime, rng.DeriveSeed(s.Seed, "M1.sweep", 0)),
 		Wm:               wm,
 		SweepMultipliers: []float64{0.4, 0.6, 0.8, 1.25, 1.6, 2.2, 3},
 		Replicas:         s.MultihopReplicas,
+		Workers:          s.workerCount(),
 	})
 	if err != nil {
 		return nil, err
@@ -121,7 +123,7 @@ func HiddenNodeInvariance(s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	topoCfg := topology.PaperConfig(s.Seed + 1)
+	topoCfg := topology.PaperConfig(rng.DeriveSeed(s.Seed, "M2.topology", 0))
 	topoCfg.N = s.MultihopNodes
 	nw, err := topology.New(topoCfg)
 	if err != nil {
@@ -131,7 +133,7 @@ func HiddenNodeInvariance(s Settings) (*Report, error) {
 		return nil, err
 	}
 	cws := []int{8, 16, 26, 40, 64, 104, 160}
-	fracs, err := multihop.PHNSweep(nw, multihop.DefaultSimConfig(s.MultihopSimTime, s.Seed+2), cws)
+	fracs, err := multihop.PHNSweep(nw, multihop.DefaultSimConfig(s.MultihopSimTime, rng.DeriveSeed(s.Seed, "M2.phn", 0)), cws, s.workerCount())
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"selfishmac/internal/macsim"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/plot"
+	"selfishmac/internal/rng"
 	"selfishmac/internal/stats"
 )
 
@@ -74,31 +75,33 @@ type NERow struct {
 	Throughput float64
 }
 
-// neTable computes one NE table for the given access mode.
-func neTable(mode phy.AccessMode, paper map[int]int, s Settings) ([]NERow, error) {
+// neTable computes one NE table for the given access mode. The three
+// populations are independent, so they fan out over the worker pool; rows
+// land in their slice slots, keeping the table order deterministic.
+func neTable(id string, mode phy.AccessMode, paper map[int]int, s Settings) ([]NERow, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	p := phy.Default()
-	rows := make([]NERow, 0, len(tablePopulations))
-	for _, n := range tablePopulations {
+	rows := make([]NERow, len(tablePopulations))
+	err := forEachIndex(len(tablePopulations), s.workerCount(), func(k int) error {
+		n := tablePopulations[k]
 		g, err := core.NewGame(core.DefaultConfig(n, mode))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		theory, err := g.FindPaperNE()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		exact, err := g.FindEfficientNE()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mean, variance, err := simulatedBestCW(p, mode, n, theory.WStar, s)
+		mean, variance, err := simulatedBestCW(id, g, n, theory.WStar, s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, NERow{
+		rows[k] = NERow{
 			N:          n,
 			PaperWc:    paper[n],
 			TheoryWc:   theory.WStar,
@@ -107,7 +110,11 @@ func neTable(mode phy.AccessMode, paper map[int]int, s Settings) ([]NERow, error
 			SimVar:     variance,
 			TheoryTau:  theory.TauStar,
 			Throughput: theory.ThroughputStar,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -116,24 +123,38 @@ func neTable(mode phy.AccessMode, paper map[int]int, s Settings) ([]NERow, error
 // common CW over a grid around the theoretical NE, measure each node's
 // payoff in the MAC simulator at every operating point, and report the
 // mean and variance (across nodes) of each node's payoff-maximizing CW.
-func simulatedBestCW(p phy.Params, mode phy.AccessMode, n, wStar int, s Settings) (mean, variance float64, err error) {
-	tm, err := p.Timing(mode)
+// The grid points are independent simulator runs, each on its own derived
+// seed stream (scoped by table ID and population, so e.g. T2/n=5 and
+// T3/n=5 never reuse a stream), fanned out over the worker pool.
+func simulatedBestCW(id string, g *core.Game, n, wStar int, s Settings) (mean, variance float64, err error) {
+	cfg := g.Config()
+	tm, err := cfg.PHY.Timing(cfg.Mode)
 	if err != nil {
 		return 0, 0, err
 	}
 	grid := cwGrid(wStar)
+	results := make([]*macsim.Result, len(grid))
+	stream := fmt.Sprintf("%s.sim.n%d", id, n)
+	err = forEachIndex(len(grid), s.workerCount(), func(gi int) error {
+		res, err := macsim.RunUniform(tm, cfg.PHY.MaxBackoffStage, grid[gi], n,
+			s.SingleHopSimTime, cfg.Gain, cfg.Cost, rng.DeriveSeed(s.Seed, stream, gi))
+		if err != nil {
+			return err
+		}
+		results[gi] = res
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
 	bestW := make([]int, n)
 	bestPayoff := make([]float64, n)
 	for i := range bestPayoff {
 		bestPayoff[i] = -1e300
 	}
 	for gi, w := range grid {
-		res, err := macsim.RunUniform(tm, p.MaxBackoffStage, w, n, s.SingleHopSimTime, 1, 0.01, s.Seed+uint64(gi))
-		if err != nil {
-			return 0, 0, err
-		}
 		for i := 0; i < n; i++ {
-			if pr := res.Nodes[i].PayoffRate; pr > bestPayoff[i] {
+			if pr := results[gi].Nodes[i].PayoffRate; pr > bestPayoff[i] {
 				bestPayoff[i] = pr
 				bestW[i] = w
 			}
@@ -201,7 +222,7 @@ func renderNETable(title string, rows []NERow) (string, string) {
 }
 
 func neReport(id, title string, mode phy.AccessMode, paper map[int]int, s Settings) (*Report, error) {
-	rows, err := neTable(mode, paper, s)
+	rows, err := neTable(id, mode, paper, s)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The harness's inner loops — figure series, sweep points, simulator grid
+// runs — are embarrassingly parallel: every iteration writes only its own
+// index and draws randomness from its own derived seed. forEachIndex is
+// the one fan-out primitive they share. Determinism is structural, not
+// accidental: because work is partitioned by index and seeds are derived
+// per index (never drawn from a shared stream in completion order), the
+// results are bit-identical to the serial loop at any worker count.
+
+// forEachIndex runs fn(i) for every i in [0, n) using at most `workers`
+// goroutines (0 or negative means GOMAXPROCS). It returns the
+// lowest-index error, so error reporting is deterministic too. fn must
+// only touch state owned by its index.
+func forEachIndex(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

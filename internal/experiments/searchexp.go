@@ -83,7 +83,7 @@ func SearchAlgorithm(s Settings) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		lossy, err := search.NewLossyEnv(inner, 0.2, s.Seed)
+		lossy, err := search.NewLossyEnv(inner, 0.2, rng.DeriveSeed(s.Seed, "A1.lossy", w0))
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +120,7 @@ func TFTConvergence(s Settings) (*Report, error) {
 	var text []string
 
 	// (a) Plain TFT from heterogeneous starts.
-	r := newSeededRand(s.Seed + 99)
+	r := newSeededRand(rng.DeriveSeed(s.Seed, "A5.start", 0))
 	initial := make([]core.Strategy, 6)
 	minW := int(^uint(0) >> 1)
 	for i := range initial {
@@ -149,7 +149,7 @@ func TFTConvergence(s Settings) (*Report, error) {
 		return int(float64(w) * src.UniformRange(0.85, 1.15))
 	}
 	runNoisy := func(strats []core.Strategy) (int, error) {
-		e, err := core.NewEngine(g, strats, core.WithNoise(noise), core.WithSeed(s.Seed+7))
+		e, err := core.NewEngine(g, strats, core.WithNoise(noise), core.WithSeed(rng.DeriveSeed(s.Seed, "A5.noise", 0)))
 		if err != nil {
 			return 0, err
 		}

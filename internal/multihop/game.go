@@ -8,6 +8,7 @@ import (
 	"selfishmac/internal/bianchi"
 	"selfishmac/internal/core"
 	"selfishmac/internal/phy"
+	"selfishmac/internal/rng"
 	"selfishmac/internal/topology"
 )
 
@@ -147,6 +148,14 @@ type QuasiOptConfig struct {
 	// seeds (derived deterministically from Sim.Seed) to suppress
 	// sampling noise in the per-node ratios. 0 or 1 means one run.
 	Replicas int
+	// Workers bounds the goroutines fanned out over the independent
+	// (operating point, replica) simulator runs. 0 or negative means
+	// GOMAXPROCS; 1 forces the serial path. Results are bit-identical at
+	// every worker count because each run owns a derived seed and a
+	// result slot, and aggregation happens in a fixed order afterwards.
+	// Runs are only parallelized on a static topology snapshot
+	// (Sim.MobilityEvery == 0): a mobile run mutates the shared network.
+	Workers int
 }
 
 // QuasiOptResult reports how close the converged NE is to optimal.
@@ -197,26 +206,37 @@ func MeasureQuasiOptimality(nw *topology.Network, cfg QuasiOptConfig) (*QuasiOpt
 	if replicas < 1 {
 		replicas = 1
 	}
+	// Every (candidate CW, replica) pair is an independent simulator run
+	// on its own derived seed: fan them all out at once, then aggregate
+	// in the fixed (candidate, replica) order so the averages are
+	// bit-identical to the serial double loop.
+	runs := make([]*SimResult, len(candidates)*replicas)
+	err := forEachIndex(len(runs), cfg.Workers, cfg.Sim.MobilityEvery == 0, func(k int) error {
+		w := candidates[k/replicas]
+		rep := k % replicas
+		sim := cfg.Sim
+		sim.CW = uniformCWProfile(w, n)
+		sim.Seed = rng.DeriveSeed(cfg.Sim.Seed, "multihop.quasiopt", rep)
+		r, err := Simulate(nw, sim)
+		if err != nil {
+			return err
+		}
+		runs[k] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	atWm := make([]float64, n)
 	best := make([]float64, n)
 	mean := make([]float64, n)
-	profile := make([]int, n)
-	for _, w := range candidates {
-		for i := range profile {
-			profile[i] = w
-		}
+	for ci, w := range candidates {
 		for i := range mean {
 			mean[i] = 0
 		}
 		var gp float64
 		for rep := 0; rep < replicas; rep++ {
-			sim := cfg.Sim
-			sim.CW = profile
-			sim.Seed = cfg.Sim.Seed + uint64(rep)*0x9e3779b97f4a7c15
-			r, err := Simulate(nw, sim)
-			if err != nil {
-				return nil, err
-			}
+			r := runs[ci*replicas+rep]
 			gp += r.GlobalPayoffRate()
 			for i := range mean {
 				mean[i] += r.Nodes[i].PayoffRate
@@ -291,27 +311,31 @@ func summarizeRatios(rs []float64) (minR, meanR float64) {
 // PHNSweep measures the hidden-terminal loss fraction across uniform CW
 // values (paper Section VI.A's key approximation: p_hn is roughly
 // independent of CW when n is large and CW not too small). It returns one
-// HiddenFraction per candidate CW.
-func PHNSweep(nw *topology.Network, sim SimConfig, cws []int) ([]float64, error) {
+// HiddenFraction per candidate CW. The sweep points are independent
+// simulator runs fanned out over at most `workers` goroutines (0 means
+// GOMAXPROCS); runs stay serial when mobility would mutate the topology.
+func PHNSweep(nw *topology.Network, sim SimConfig, cws []int, workers int) ([]float64, error) {
 	if len(cws) == 0 {
 		return nil, errors.New("multihop: empty CW sweep")
 	}
-	out := make([]float64, len(cws))
-	profile := make([]int, nw.N())
-	for k, w := range cws {
+	for _, w := range cws {
 		if w < 1 {
 			return nil, fmt.Errorf("multihop: CW %d < 1", w)
 		}
-		for i := range profile {
-			profile[i] = w
-		}
+	}
+	out := make([]float64, len(cws))
+	err := forEachIndex(len(cws), workers, sim.MobilityEvery == 0, func(k int) error {
 		s := sim
-		s.CW = profile
+		s.CW = uniformCWProfile(cws[k], nw.N())
 		r, err := Simulate(nw, s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[k] = r.HiddenFraction
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -456,7 +456,7 @@ func TestQuasiOptimalitySmall(t *testing.T) {
 func TestPHNSweep(t *testing.T) {
 	nw := paperNetwork(t, 12)
 	sim := DefaultSimConfig(2e6, 21)
-	fracs, err := PHNSweep(nw, sim, []int{16, 32, 64})
+	fracs, err := PHNSweep(nw, sim, []int{16, 32, 64}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,10 +468,10 @@ func TestPHNSweep(t *testing.T) {
 			t.Errorf("fraction %d = %g outside [0,1]", i, f)
 		}
 	}
-	if _, err := PHNSweep(nw, sim, nil); err == nil {
+	if _, err := PHNSweep(nw, sim, nil, 0); err == nil {
 		t.Error("empty sweep accepted")
 	}
-	if _, err := PHNSweep(nw, sim, []int{0}); err == nil {
+	if _, err := PHNSweep(nw, sim, []int{0}, 0); err == nil {
 		t.Error("CW 0 accepted")
 	}
 }

@@ -1,0 +1,67 @@
+package multihop
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachIndex runs fn(i) for i in [0, n) over at most `workers`
+// goroutines (0 or negative means GOMAXPROCS) and returns the
+// lowest-index error. parallelOK false forces the serial path — used when
+// the shared topology would be mutated (mobility enabled), which the
+// simulator cannot do concurrently. fn must only write state owned by its
+// index; determinism at any worker count follows from that partitioning.
+func forEachIndex(n, workers int, parallelOK bool, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || !parallelOK {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// uniformCWProfile returns an n-slot profile all at w. Each parallel
+// simulator run needs its own profile slice (SimConfig.CW is retained by
+// the run), so this is per-call, never shared.
+func uniformCWProfile(w, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = w
+	}
+	return out
+}
