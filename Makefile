@@ -1,8 +1,11 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race cover bench bench-quick experiments experiments-quick fmt
+# How long `test-fuzz` spends per fuzz target.
+FUZZTIME ?= 5s
 
-all: build vet test test-race
+.PHONY: all build vet test test-fuzz test-race cover bench bench-quick experiments experiments-quick fmt
+
+all: build test test-race
 
 build:
 	go build ./...
@@ -10,8 +13,19 @@ build:
 vet:
 	go vet ./...
 
-test:
+# The default test path: vet, the full suite (which replays every fuzz
+# seed corpus), then a short live-fuzz pass over each target.
+test: vet
 	go test ./...
+	$(MAKE) test-fuzz
+
+# `go test -fuzz` takes one target per invocation, so run them one by one.
+test-fuzz:
+	go test -run='^$$' -fuzz='^FuzzGeomSeriesSum$$' -fuzztime=$(FUZZTIME) ./internal/num
+	go test -run='^$$' -fuzz='^FuzzBisect$$' -fuzztime=$(FUZZTIME) ./internal/num
+	go test -run='^$$' -fuzz='^FuzzEstimateCWRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/detect
+	go test -run='^$$' -fuzz='^FuzzRunTerminates$$' -fuzztime=$(FUZZTIME) ./internal/search
+	go test -run='^$$' -fuzz='^FuzzResilientRunTerminates$$' -fuzztime=$(FUZZTIME) ./internal/search
 
 # The worker pools and the shared solver cache make the suite
 # concurrency-heavy; run it under the race detector too.

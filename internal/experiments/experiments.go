@@ -168,6 +168,7 @@ func All() []Runner {
 		{"A6", "Ablation: maximum backoff stage m", BackoffStageAblation},
 		{"A7", "Ablation: transmission-cost term e", CostTermAblation},
 		{"A8", "Population mix: myopic deviators among TFT players", PopulationMix},
+		{"A9", "Robustness: resilient NE search under faults", Robustness},
 		{"R1", "Extension: packet-size (rate-control) game", RateControl},
 		{"D1", "Extension: CW misbehavior detection", Detection},
 		{"D2", "Closed loop: TFT driven by estimated observations", ClosedLoop},

@@ -51,8 +51,8 @@ func TestReportMetricHelpers(t *testing.T) {
 
 func TestAllRegistryShape(t *testing.T) {
 	rs := All()
-	if len(rs) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(rs))
+	if len(rs) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -64,7 +64,7 @@ func TestAllRegistryShape(t *testing.T) {
 		}
 		seen[r.ID] = true
 	}
-	for _, id := range []string{"T1", "T2", "T3", "F2", "F3", "M1", "M2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "R1", "D1", "D2", "D3", "X1"} {
+	for _, id := range []string{"T1", "T2", "T3", "F2", "F3", "M1", "M2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "R1", "D1", "D2", "D3", "X1"} {
 		if !seen[id] {
 			t.Fatalf("missing experiment %s", id)
 		}
@@ -487,6 +487,54 @@ func TestTFTConvergenceReport(t *testing.T) {
 	if rep.Metrics["noisy_gtft_final"] <= rep.Metrics["noisy_tft_final"] {
 		t.Errorf("GTFT final %g not above TFT final %g",
 			rep.Metrics["noisy_gtft_final"], rep.Metrics["noisy_tft_final"])
+	}
+}
+
+func TestRobustnessReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spatial simulation (churn section)")
+	}
+	rep, err := Robustness(QuickSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline guarantee: within +/-2 of the fault-free NE at every
+	// drop probability up to 0.3, never degraded (no budget configured).
+	for _, key := range []string{"drop00_", "drop10_", "drop20_", "drop30_"} {
+		if e := rep.Metrics[key+"abs_err"]; e > 2 {
+			t.Errorf("%sabs_err = %g, want <= 2", key, e)
+		}
+		if rep.Metrics[key+"degraded"] != 0 {
+			t.Errorf("%sdegraded set without a probe budget", key)
+		}
+	}
+	// Median-of-3 must hold the NE under pure outlier noise too.
+	for _, key := range []string{"noise00_", "noise10_", "noise20_", "noise30_"} {
+		if e := rep.Metrics[key+"abs_err"]; e > 2 {
+			t.Errorf("%sabs_err = %g, want <= 2", key, e)
+		}
+	}
+	// Leader crash: the deputy finishes near the NE.
+	if rep.Metrics["crash_failed_over"] != 1 {
+		t.Error("leader crash scenario did not fail over")
+	}
+	if e := rep.Metrics["crash_abs_err"]; e > 2 {
+		t.Errorf("crash_abs_err = %g, want <= 2", e)
+	}
+	// Probe budget: degraded best-so-far, not an error.
+	if rep.Metrics["budget_degraded"] != 1 {
+		t.Error("exhausted probe budget did not set Degraded")
+	}
+	if w := rep.Metrics["budget_found_w"]; w < 8 {
+		t.Errorf("budget_found_w = %g below the starting CW", w)
+	}
+	// Churn: the churn-free run must converge; churn runs must at least
+	// report their outcome (convergence is not guaranteed at high churn).
+	if rep.Metrics["churn00_converged_at"] < 0 {
+		t.Error("churn-free TFT run did not converge")
+	}
+	if len(rep.Artifacts) == 0 {
+		t.Error("missing drop-sweep CSV artifact")
 	}
 }
 

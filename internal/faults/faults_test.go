@@ -1,0 +1,361 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/core"
+	"selfishmac/internal/phy"
+	"selfishmac/internal/search"
+)
+
+func mustGame(t testing.TB, n int) *core.Game {
+	t.Helper()
+	g, err := core.NewGame(core.DefaultConfig(n, phy.RTSCTS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustEnv(t testing.TB, g *core.Game, w0 int) *search.AnalyticEnv {
+	t.Helper()
+	env, err := search.NewAnalyticEnv(g, 0, w0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"DropProb 1", Config{DropProb: 1}},
+		{"negative DropProb", Config{DropProb: -0.1}},
+		{"NaN DropProb", Config{DropProb: math.NaN()}},
+		{"DupProb 1", Config{DupProb: 1}},
+		{"DelayProb 1", Config{DelayProb: 1}},
+		{"OutlierProb 1", Config{OutlierProb: 1}},
+		{"FailProb 1", Config{FailProb: 1}},
+		{"FollowerCrashProb 1", Config{FollowerCrashProb: 1}},
+		{"negative MaxDelay", Config{MaxDelay: -1}},
+		{"negative OutlierScale", Config{OutlierScale: -2}},
+		{"negative LeaderCrashAfter", Config{LeaderCrashAfter: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", tc.cfg)
+			}
+			if _, err := New(mustEnv(t, mustGame(t, 3), 8), tc.cfg); err == nil {
+				t.Error("New accepted the invalid config")
+			}
+		})
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil inner env accepted")
+	}
+}
+
+// A zero config must be a fully transparent wrapper: same walk, same
+// answer, no faults counted.
+func TestZeroConfigIsTransparent(t *testing.T) {
+	g := mustGame(t, 5)
+	plain, err := search.Run(mustEnv(t, g, 4), 0, 4, search.Options{WMax: g.Config().WMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := New(mustEnv(t, g, 4), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := search.Run(env, 0, 4, search.Options{WMax: g.Config().WMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.W != plain.W {
+		t.Fatalf("wrapped walk found %d, plain %d", wrapped.W, plain.W)
+	}
+	if !reflect.DeepEqual(wrapped.Probes, plain.Probes) {
+		t.Fatal("zero-config wrapper changed the measured payoffs")
+	}
+	s := env.Stats
+	if s.Dropped != 0 || s.Duplicated != 0 || s.Delayed != 0 || s.Outliers != 0 ||
+		s.TransientFailures != 0 || s.FollowerCrashes != 0 || s.LeaderCrashes != 0 {
+		t.Fatalf("zero config injected faults: %+v", s)
+	}
+	if s.Broadcasts == 0 {
+		t.Fatal("broadcasts not counted")
+	}
+}
+
+// The acceptance scenario of the fault-injection work: drop probability up
+// to 0.3, measurement outliers, transient failures, and one leader crash.
+// ResilientRun must land within +/-2 of the fault-free NE with Degraded
+// unset, on every seed.
+func TestResilientRunAcceptanceScenario(t *testing.T) {
+	g := mustGame(t, 10)
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := search.Options{WMax: g.Config().WMax, MeasureK: 3, Retries: 3}
+	for _, drop := range []float64{0.1, 0.2, 0.3} {
+		for seed := uint64(0); seed < 4; seed++ {
+			env, err := New(mustEnv(t, g, 8), Config{
+				Seed:             seed,
+				DropProb:         drop,
+				OutlierProb:      0.1,
+				FailProb:         0.05,
+				LeaderCrashAfter: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := search.ResilientRun(env, 0, 8, opts)
+			if err != nil {
+				t.Fatalf("drop=%.1f seed=%d: %v", drop, seed, err)
+			}
+			if d := res.W - ne.WStar; d < -2 || d > 2 {
+				t.Errorf("drop=%.1f seed=%d: W=%d, fault-free NE %d (err %+d)",
+					drop, seed, res.W, ne.WStar, d)
+			}
+			if res.Degraded {
+				t.Errorf("drop=%.1f seed=%d: Degraded set without a probe budget", drop, seed)
+			}
+			if !res.FailedOver || env.Stats.Failovers != 1 {
+				t.Errorf("drop=%.1f seed=%d: leader crash not failed over (stats %+v)",
+					drop, seed, env.Stats)
+			}
+		}
+	}
+}
+
+// The same seed must replay byte-identically: identical Result, identical
+// Stats, down to every counter.
+func TestScenarioReplaysByteIdentical(t *testing.T) {
+	g := mustGame(t, 10)
+	cfg := Config{
+		Seed:              42,
+		DropProb:          0.25,
+		DupProb:           0.1,
+		DelayProb:         0.1,
+		OutlierProb:       0.1,
+		FailProb:          0.05,
+		LeaderCrashAfter:  6,
+		FollowerCrashProb: 0.002,
+	}
+	opts := search.Options{WMax: g.Config().WMax, MeasureK: 3, Retries: 3}
+	run := func() (search.Result, Stats, []int) {
+		env, err := New(mustEnv(t, g, 8), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := search.ResilientRun(env, 0, 8, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, env.Stats, env.CrashedFollowers()
+	}
+	res1, stats1, crashed1 := run()
+	res2, stats2, crashed2 := run()
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("results differ across replays:\n%+v\n%+v", res1, res2)
+	}
+	if stats1 != stats2 {
+		t.Fatalf("stats differ across replays:\n%+v\n%+v", stats1, stats2)
+	}
+	if !reflect.DeepEqual(crashed1, crashed2) {
+		t.Fatalf("crashed sets differ: %v vs %v", crashed1, crashed2)
+	}
+}
+
+// Enabling one fault must not shift another fault's stream: with the same
+// seed, the drop pattern is identical whether or not outliers are on.
+func TestFaultStreamsAreIndependent(t *testing.T) {
+	g := mustGame(t, 10)
+	dropsOf := func(cfg Config) int {
+		env, err := New(mustEnv(t, g, 8), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fixed message schedule so both runs broadcast identically.
+		for w := 8; w < 40; w++ {
+			env.Broadcast(search.Message{Type: search.Ready, From: 0, W: w})
+		}
+		return env.Stats.Dropped
+	}
+	plain := dropsOf(Config{Seed: 7, DropProb: 0.3})
+	noisy := dropsOf(Config{Seed: 7, DropProb: 0.3, OutlierProb: 0.4, FailProb: 0.2, LeaderCrashAfter: 3})
+	if plain != noisy {
+		t.Fatalf("enabling measurement faults changed the drop stream: %d vs %d drops", plain, noisy)
+	}
+}
+
+func TestFollowerCrashStopsProcessing(t *testing.T) {
+	g := mustGame(t, 10)
+	inner := mustEnv(t, g, 8)
+	env, err := New(inner, Config{Seed: 3, FollowerCrashProb: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 9; w < 40; w++ {
+		env.Broadcast(search.Message{Type: search.Ready, From: 0, W: w})
+	}
+	crashed := env.CrashedFollowers()
+	if len(crashed) == 0 {
+		t.Fatal("5% per-broadcast crash probability over 31 broadcasts crashed nobody")
+	}
+	if env.Stats.FollowerCrashes != len(crashed) {
+		t.Fatalf("stats count %d crashes, CrashedFollowers lists %d", env.Stats.FollowerCrashes, len(crashed))
+	}
+	profile := inner.Profile()
+	for _, i := range crashed {
+		if profile[i] == 39 {
+			t.Errorf("crashed follower %d still applied the latest W", i)
+		}
+	}
+}
+
+func TestLeaderCrashAndFailover(t *testing.T) {
+	g := mustGame(t, 6)
+	inner := mustEnv(t, g, 8)
+	env, err := New(inner, Config{LeaderCrashAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failover before any crash must be refused.
+	if _, err := env.Failover(1); err == nil {
+		t.Fatal("failover accepted while the leader is up")
+	}
+	res, err := search.ResilientRun(env, 0, 8, search.Options{WMax: g.Config().WMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FailedOver || res.Leader != 1 {
+		t.Fatalf("failedOver=%v leader=%d, want deputy 1", res.FailedOver, res.Leader)
+	}
+	if inner.LeaderID() != 1 {
+		t.Fatalf("inner env leader %d, want 1", inner.LeaderID())
+	}
+	if env.Stats.LeaderCrashes != 1 || env.Stats.Failovers != 1 {
+		t.Fatalf("stats %+v, want one crash and one failover", env.Stats)
+	}
+	ne, err := g.FindEfficientNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != ne.WStar {
+		t.Fatalf("deputy finished at W=%d, exact NE %d", res.W, ne.WStar)
+	}
+}
+
+func TestDelayCausesReordering(t *testing.T) {
+	g := mustGame(t, 5)
+	env, err := New(mustEnv(t, g, 8), Config{Seed: 1, DelayProb: 0.3, MaxDelay: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 9; w < 60; w++ {
+		env.Broadcast(search.Message{Type: search.Ready, From: 0, W: w})
+	}
+	if env.Stats.Delayed == 0 {
+		t.Fatal("30% delay probability delayed nothing over 51 broadcasts")
+	}
+	if env.Stats.Reordered == 0 {
+		t.Fatal("delayed messages were never delivered out of order")
+	}
+	if env.Stats.Reordered > env.Stats.Delayed {
+		t.Fatalf("%d reordered > %d delayed", env.Stats.Reordered, env.Stats.Delayed)
+	}
+}
+
+// A reordered stale Ready reverts its receivers; the cumulative ack must
+// report them stale so the runner re-broadcasts.
+func TestAckIsCumulativeAcrossResends(t *testing.T) {
+	g := mustGame(t, 5)
+	inner := mustEnv(t, g, 8)
+	// Seed chosen arbitrarily; DropProb high enough that a single
+	// broadcast usually misses someone.
+	env, err := New(inner, Config{Seed: 9, DropProb: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Broadcast(search.Message{Type: search.Ready, From: 0, W: 20})
+	for i := 0; i < 50 && !env.LastBroadcastAcked(); i++ {
+		env.Broadcast(search.Message{Type: search.Ready, From: 0, W: 20})
+	}
+	if !env.LastBroadcastAcked() {
+		t.Fatal("repeated re-sends never converged to a full ack")
+	}
+	for i, w := range inner.Profile() {
+		if i != 0 && w != 20 {
+			t.Fatalf("follower %d at W=%d after full ack, want 20", i, w)
+		}
+	}
+}
+
+func TestTransientFailuresAndOutliers(t *testing.T) {
+	g := mustGame(t, 5)
+	env, err := New(mustEnv(t, g, 8), Config{Seed: 5, FailProb: 0.3, OutlierProb: 0.3, OutlierScale: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mustEnv(t, g, 8).LeaderPayoff(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures, outliers int
+	for i := 0; i < 200; i++ {
+		v, err := env.LeaderPayoff(8)
+		if err != nil {
+			failures++
+			continue
+		}
+		if math.Abs(v-base) > 1e-9 {
+			outliers++
+			if math.Abs(v) < 10*math.Abs(base) {
+				t.Fatalf("outlier %g not gross relative to true %g", v, base)
+			}
+		}
+	}
+	if failures == 0 || outliers == 0 {
+		t.Fatalf("200 measurements: %d failures, %d outliers; want both > 0", failures, outliers)
+	}
+	if env.Stats.TransientFailures != failures || env.Stats.Outliers != outliers {
+		t.Fatalf("stats %+v disagree with observed %d/%d", env.Stats, failures, outliers)
+	}
+}
+
+// FaultyEnv must also wrap a plain (non-PartialEnv) environment, with
+// whole-message semantics.
+type plainEnv struct {
+	delivered []search.Message
+}
+
+func (e *plainEnv) Broadcast(msg search.Message)        { e.delivered = append(e.delivered, msg) }
+func (e *plainEnv) LeaderPayoff(w int) (float64, error) { return -float64(w * w), nil }
+
+func TestMessageModeDropsWholeBroadcasts(t *testing.T) {
+	inner := &plainEnv{}
+	env, err := New(inner, Config{Seed: 2, DropProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sent = 100
+	for w := 0; w < sent; w++ {
+		env.Broadcast(search.Message{Type: search.Ready, From: 0, W: w + 1})
+	}
+	if got := len(inner.delivered) + env.Stats.Dropped; got != sent {
+		t.Fatalf("delivered %d + dropped %d != sent %d", len(inner.delivered), env.Stats.Dropped, sent)
+	}
+	if env.Stats.Dropped == 0 || len(inner.delivered) == 0 {
+		t.Fatalf("50%% drop delivered %d and dropped %d of %d", len(inner.delivered), env.Stats.Dropped, sent)
+	}
+}

@@ -23,6 +23,7 @@ type Engine struct {
 	strategies []core.Strategy
 	sim        SimConfig
 	stopWindow int
+	churn      *ChurnConfig
 }
 
 // StageRecord is one stage of the multi-hop trace.
@@ -33,6 +34,9 @@ type StageRecord struct {
 	PayoffRates []float64
 	// HiddenFraction is the stage's hidden-terminal loss fraction.
 	HiddenFraction float64
+	// Active marks which nodes were present this stage (nil when the run
+	// has no churn — everyone is always present).
+	Active []bool
 }
 
 // Trace is the outcome of a multi-hop run.
@@ -87,19 +91,44 @@ func (e *Engine) WithStopWindow(window int) *Engine {
 	return e
 }
 
+// WithChurn enables node churn during the run: each stage, active nodes
+// leave with cfg.LeaveProb and departed ones rejoin with cfg.JoinProb.
+// Convergence is then judged over the active nodes only. The config is
+// validated when Run starts.
+func (e *Engine) WithChurn(cfg ChurnConfig) *Engine {
+	e.churn = &cfg
+	return e
+}
+
 // Run plays up to maxStages stages.
 func (e *Engine) Run(maxStages int) (*Trace, error) {
 	if maxStages < 1 {
 		return nil, fmt.Errorf("multihop: maxStages = %d must be >= 1", maxStages)
 	}
 	n := e.nw.N()
-	adj := e.nw.AdjacencyLists()
+	var churn *churnState
+	if e.churn != nil {
+		if err := e.churn.Validate(); err != nil {
+			return nil, err
+		}
+		churn = newChurnState(*e.churn, n)
+	}
 	trace := &Trace{ConvergedAt: -1}
 	observedBy := make([][][]int, n)
 	utilitiesOf := make([][]float64, n)
 
 	uniformRun, lastUniform := 0, 0
 	for k := 0; k < maxStages; k++ {
+		// Evolve membership and snapshot the stage's topology view.
+		nw := e.nw
+		var active []bool
+		if churn != nil {
+			churn.step()
+			active = append([]bool(nil), churn.active...)
+			nw = &maskedTopology{base: e.nw, active: active}
+		}
+		adj := nw.AdjacencyLists()
+
 		profile := make([]int, n)
 		for i, s := range e.strategies {
 			w := s.ChooseCW(0, observedBy[i], utilitiesOf[i])
@@ -112,7 +141,7 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 		sim := e.sim
 		sim.CW = profile
 		sim.Seed = e.sim.Seed + uint64(k)*0x9e3779b97f4a7c15
-		res, err := Simulate(e.nw, sim)
+		res, err := Simulate(nw, sim)
 		if err != nil {
 			return nil, fmt.Errorf("multihop: stage %d: %w", k, err)
 		}
@@ -124,9 +153,12 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 			Profile:        profile,
 			PayoffRates:    rates,
 			HiddenFraction: res.HiddenFraction,
+			Active:         active,
 		})
 
 		for i := range e.strategies {
+			// A departed node observes only itself; its neighbors do not
+			// see it either (adj is the masked view).
 			local := make([]int, 0, 1+len(adj[i]))
 			local = append(local, profile[i])
 			for _, j := range adj[i] {
@@ -136,13 +168,13 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 			utilitiesOf[i] = append(utilitiesOf[i], rates[i])
 		}
 
-		if uniformProfile(profile) {
-			if uniformRun > 0 && profile[0] == lastUniform {
+		if cw, ok := uniformProfile(profile, active); ok {
+			if uniformRun > 0 && cw == lastUniform {
 				uniformRun++
 			} else {
 				uniformRun = 1
 			}
-			lastUniform = profile[0]
+			lastUniform = cw
 		} else {
 			uniformRun = 0
 		}
@@ -157,11 +189,19 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 	return trace, nil
 }
 
-func uniformProfile(p []int) bool {
-	for _, w := range p[1:] {
-		if w != p[0] {
-			return false
+// uniformProfile reports whether the profile is uniform — over the active
+// nodes only when an activity mask is present — and the common CW.
+func uniformProfile(p []int, active []bool) (int, bool) {
+	cw, seen := 0, false
+	for i, w := range p {
+		if active != nil && !active[i] {
+			continue
+		}
+		if !seen {
+			cw, seen = w, true
+		} else if w != cw {
+			return 0, false
 		}
 	}
-	return true
+	return cw, seen
 }

@@ -61,6 +61,35 @@ func (e *AnalyticEnv) LeaderPayoff(w int) (float64, error) {
 // Profile returns a copy of the nodes' current CW values.
 func (e *AnalyticEnv) Profile() []int { return append([]int(nil), e.cw...) }
 
+// NumNodes returns the number of nodes in the environment.
+func (e *AnalyticEnv) NumNodes() int { return len(e.cw) }
+
+// LeaderID returns the current leader index.
+func (e *AnalyticEnv) LeaderID() int { return e.leader }
+
+// DeliverTo delivers msg to a single node, bypassing the broadcast
+// medium. Fault-injection wrappers use it for per-node drop and targeted
+// re-delivery; it is not appended to Log (the wrapper owns bookkeeping).
+func (e *AnalyticEnv) DeliverTo(node int, msg Message) {
+	if node < 0 || node >= len(e.cw) || node == e.leader {
+		return
+	}
+	if msg.Type == StartSearch || msg.Type == Ready {
+		e.cw[node] = msg.W
+	}
+}
+
+// SetLeader promotes node to leader (deputy failover). The old leader's
+// CW keeps its last measured value; subsequent LeaderPayoff calls measure
+// the new leader.
+func (e *AnalyticEnv) SetLeader(node int) error {
+	if node < 0 || node >= len(e.cw) {
+		return fmt.Errorf("search: leader %d outside [0, %d)", node, len(e.cw))
+	}
+	e.leader = node
+	return nil
+}
+
 var _ Env = (*AnalyticEnv)(nil)
 
 // LossyEnv wraps perfect analytic payoff measurement with an unreliable
@@ -72,6 +101,21 @@ type LossyEnv struct {
 	inner    *AnalyticEnv
 	dropProb float64
 	src      *rng.Source
+	// Deliveries records, per broadcast, which followers actually missed
+	// the message; tests assert real loss from it instead of inferring it
+	// from stale CWs. Announce and other non-CW messages are recorded
+	// with an empty Missed list.
+	Deliveries []Delivery
+	// Dropped counts (message, follower) pairs that were lost.
+	Dropped int
+}
+
+// Delivery is the per-message outcome of one lossy broadcast.
+type Delivery struct {
+	// Msg is the broadcast message.
+	Msg Message
+	// Missed lists the follower indices that did not receive it.
+	Missed []int
 }
 
 // NewLossyEnv wraps env with per-node message loss.
@@ -85,20 +129,26 @@ func NewLossyEnv(env *AnalyticEnv, dropProb float64, seed uint64) (*LossyEnv, er
 	return &LossyEnv{inner: env, dropProb: dropProb, src: rng.New(seed)}, nil
 }
 
-// Broadcast implements Env with independent per-node losses.
+// Broadcast implements Env with independent per-node losses. The inner
+// Log records the message as sent; Deliveries records which followers
+// actually received it.
 func (e *LossyEnv) Broadcast(msg Message) {
 	e.inner.Log = append(e.inner.Log, msg)
-	if msg.Type != StartSearch && msg.Type != Ready {
-		return
-	}
-	for i := range e.inner.cw {
-		if i == e.inner.leader {
-			continue
+	d := Delivery{Msg: msg}
+	if msg.Type == StartSearch || msg.Type == Ready {
+		for i := range e.inner.cw {
+			if i == e.inner.leader {
+				continue
+			}
+			if e.src.Float64() >= e.dropProb {
+				e.inner.cw[i] = msg.W
+			} else {
+				d.Missed = append(d.Missed, i)
+				e.Dropped++
+			}
 		}
-		if e.src.Float64() >= e.dropProb {
-			e.inner.cw[i] = msg.W
-		}
 	}
+	e.Deliveries = append(e.Deliveries, d)
 }
 
 // LeaderPayoff implements Env.

@@ -1,0 +1,91 @@
+package search
+
+import "testing"
+
+// landscapePayoff derives an arbitrary but deterministic payoff landscape
+// from a fuzz seed: payoff(w) is a hash of (seed, w) mapped into [0, 1).
+// The landscape has no structure at all — no unimodality, plateaus and
+// ties everywhere — which is exactly what the termination guarantee must
+// survive.
+func landscapePayoff(seed uint64) func(w int) float64 {
+	return func(w int) float64 {
+		x := seed ^ (uint64(w) * 0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return float64(x>>11) / (1 << 53)
+	}
+}
+
+// FuzzRunTerminates asserts the paper walk's contract on arbitrary payoff
+// landscapes: it terminates within 2*WMax probes and announces a CW in
+// [1, WMax].
+func FuzzRunTerminates(f *testing.F) {
+	f.Add(uint64(0), 16, 64)
+	f.Add(uint64(1), 1, 1)
+	f.Add(uint64(42), 64, 64)
+	f.Add(uint64(7), 33, 100)
+	f.Fuzz(func(t *testing.T, seed uint64, w0, wMax int) {
+		if wMax < 1 || wMax > 4096 {
+			wMax = 1 + int(uint(wMax)%4096)
+		}
+		if w0 < 1 || w0 > wMax {
+			w0 = 1 + int(uint(w0)%uint(wMax))
+		}
+		env := &funcEnv{payoff: landscapePayoff(seed)}
+		res, err := Run(env, 0, w0, Options{WMax: wMax})
+		if err != nil {
+			t.Fatalf("Run failed on a total payoff landscape: %v", err)
+		}
+		if res.W < 1 || res.W > wMax {
+			t.Fatalf("announced W=%d outside [1, %d]", res.W, wMax)
+		}
+		if res.ProbeCount() > 2*wMax {
+			t.Fatalf("used %d probes, bound is 2*WMax = %d", res.ProbeCount(), 2*wMax)
+		}
+		// The announced W must be one of the measured points.
+		found := false
+		for _, p := range res.Probes {
+			if p.W == res.W {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("announced W=%d was never measured", res.W)
+		}
+	})
+}
+
+// FuzzResilientRunTerminates asserts the same contract for the hardened
+// walk, whose patience and re-verification add at most one extra probe
+// per step: 2*WMax probes total.
+func FuzzResilientRunTerminates(f *testing.F) {
+	f.Add(uint64(0), 16, 64)
+	f.Add(uint64(3), 5, 30)
+	f.Add(uint64(99), 1, 1)
+	f.Fuzz(func(t *testing.T, seed uint64, w0, wMax int) {
+		if wMax < 1 || wMax > 1024 {
+			wMax = 1 + int(uint(wMax)%1024)
+		}
+		if w0 < 1 || w0 > wMax {
+			w0 = 1 + int(uint(w0)%uint(wMax))
+		}
+		env := &funcEnv{payoff: landscapePayoff(seed)}
+		res, err := ResilientRun(env, 0, w0, Options{WMax: wMax, MeasureK: 2})
+		if err != nil {
+			t.Fatalf("ResilientRun failed on a total payoff landscape: %v", err)
+		}
+		if res.W < 1 || res.W > wMax {
+			t.Fatalf("announced W=%d outside [1, %d]", res.W, wMax)
+		}
+		if res.ProbeCount() > 2*wMax {
+			t.Fatalf("used %d probes, bound is 2*WMax = %d", res.ProbeCount(), 2*wMax)
+		}
+		if res.Degraded {
+			t.Fatal("Degraded set without a probe budget")
+		}
+	})
+}

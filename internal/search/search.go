@@ -19,6 +19,8 @@ package search
 import (
 	"errors"
 	"fmt"
+	"math"
+	"time"
 )
 
 // MsgType enumerates the protocol's broadcast messages.
@@ -74,11 +76,29 @@ type Probe struct {
 type Result struct {
 	// W is the CW value announced as the efficient NE.
 	W int
-	// Probes lists every measurement in order.
+	// Probes lists every accepted measurement in order (for the resilient
+	// runners, one entry per operating point with the median payoff).
 	Probes []Probe
 	// Direction is +1 if Right-Search found the peak, -1 if Left-Search
 	// did, 0 if the start was already the peak.
 	Direction int
+	// Leader is the node that announced the result — the original leader,
+	// or the deputy after a failover.
+	Leader int
+	// Degraded is set by the resilient runners when the probe budget ran
+	// out before the walk finished; W is then the best CW found so far.
+	Degraded bool
+	// FailedOver reports that the leader crashed mid-search and a deputy
+	// completed it.
+	FailedOver bool
+	// Measurements counts raw LeaderPayoff calls, including retries and
+	// the extra samples of median-of-k (>= len(Probes)).
+	Measurements int
+	// Retries counts measurement attempts repeated after transient errors.
+	Retries int
+	// Rebroadcasts counts Ready re-broadcasts sent because a follower
+	// missed the previous one (AckEnv environments only).
+	Rebroadcasts int
 }
 
 // ProbeCount returns the number of payoff measurements used.
@@ -92,6 +112,67 @@ type Options struct {
 	// progress; it makes hill climbing robust to measurement noise.
 	// Zero reproduces the paper's strict comparison.
 	MinImprove float64
+
+	// The remaining fields tune the resilient runners (ResilientRun,
+	// ResilientAcceleratedSearch); Run and AcceleratedSearch ignore them.
+
+	// Retries is how many times a failed payoff measurement is retried
+	// before the sample is given up. Zero defaults to 2.
+	Retries int
+	// BackoffBase is the delay before the first retry; it doubles per
+	// attempt up to BackoffMax (bounded exponential backoff). Zero means
+	// no sleeping — simulated environments fail deterministically, so
+	// tests stay instant; deployments set a real base.
+	BackoffBase time.Duration
+	// BackoffMax caps the retry delay. Zero with a positive BackoffBase
+	// defaults to 16x the base.
+	BackoffMax time.Duration
+	// MeasureK measures each operating point this many times and keeps
+	// the median, rejecting outlier measurements. Zero defaults to 1
+	// (a single sample, the paper's behavior).
+	MeasureK int
+	// ProbeBudget bounds the total number of raw LeaderPayoff calls
+	// (including retries and median-of-k samples). When it runs out the
+	// resilient runners announce the best CW so far and set
+	// Result.Degraded instead of erroring. Zero means unlimited.
+	ProbeBudget int
+	// ReadyRepeats is how many times a Ready broadcast is repeated when
+	// the environment reports a missed acknowledgement (AckEnv). Zero
+	// defaults to 2.
+	ReadyRepeats int
+}
+
+// Validate rejects nonsensical option combinations. The zero value is
+// valid (every field has a documented default).
+func (o Options) Validate() error {
+	if o.WMax < 0 {
+		return fmt.Errorf("search: negative WMax %d", o.WMax)
+	}
+	if o.MinImprove < 0 || math.IsNaN(o.MinImprove) {
+		return fmt.Errorf("search: invalid MinImprove %g", o.MinImprove)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("search: negative Retries %d", o.Retries)
+	}
+	if o.BackoffBase < 0 {
+		return fmt.Errorf("search: negative BackoffBase %v", o.BackoffBase)
+	}
+	if o.BackoffMax < 0 {
+		return fmt.Errorf("search: negative BackoffMax %v", o.BackoffMax)
+	}
+	if o.BackoffMax > 0 && o.BackoffMax < o.BackoffBase {
+		return fmt.Errorf("search: BackoffMax %v below BackoffBase %v", o.BackoffMax, o.BackoffBase)
+	}
+	if o.MeasureK < 0 {
+		return fmt.Errorf("search: negative MeasureK %d", o.MeasureK)
+	}
+	if o.ProbeBudget < 0 {
+		return fmt.Errorf("search: negative ProbeBudget %d", o.ProbeBudget)
+	}
+	if o.ReadyRepeats < 0 {
+		return fmt.Errorf("search: negative ReadyRepeats %d", o.ReadyRepeats)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -102,15 +183,21 @@ func (o Options) withDefaults() Options {
 }
 
 // Run executes the paper's algorithm verbatim from starting CW w0 with
-// the given leader id.
+// the given leader id. On a measurement error it returns the probes
+// gathered so far alongside the error, so callers can see where the walk
+// died.
 func Run(env Env, leader, w0 int, opts Options) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
 	o := opts.withDefaults()
 	if w0 < 1 || w0 > o.WMax {
 		return Result{}, fmt.Errorf("search: starting CW %d outside [1, %d]", w0, o.WMax)
 	}
-	var res Result
+	res := Result{Leader: leader}
 	measure := func(w int) (float64, error) {
 		p, err := env.LeaderPayoff(w)
+		res.Measurements++
 		if err != nil {
 			return 0, fmt.Errorf("search: measuring payoff at W=%d: %w", w, err)
 		}
@@ -122,7 +209,7 @@ func Run(env Env, leader, w0 int, opts Options) (Result, error) {
 	env.Broadcast(Message{Type: StartSearch, From: leader, W: w0})
 	best, err := measure(w0)
 	if err != nil {
-		return Result{}, err
+		return res, err
 	}
 	wm := w0
 
@@ -131,7 +218,7 @@ func Run(env Env, leader, w0 int, opts Options) (Result, error) {
 		env.Broadcast(Message{Type: Ready, From: leader, W: w})
 		p, err := measure(w)
 		if err != nil {
-			return Result{}, err
+			return res, err
 		}
 		if p <= best+o.MinImprove {
 			break
@@ -150,7 +237,7 @@ func Run(env Env, leader, w0 int, opts Options) (Result, error) {
 			env.Broadcast(Message{Type: Ready, From: leader, W: w})
 			p, err := measure(w)
 			if err != nil {
-				return Result{}, err
+				return res, err
 			}
 			if p <= best+o.MinImprove {
 				break
@@ -173,11 +260,14 @@ func Run(env Env, leader, w0 int, opts Options) (Result, error) {
 // step around the best point. It uses O(log W*) probes instead of the
 // paper's O(W*) while still only requiring local payoff measurements.
 func AcceleratedSearch(env Env, leader, w0 int, opts Options) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
 	o := opts.withDefaults()
 	if w0 < 1 || w0 > o.WMax {
 		return Result{}, fmt.Errorf("search: starting CW %d outside [1, %d]", w0, o.WMax)
 	}
-	var res Result
+	res := Result{Leader: leader}
 	cache := make(map[int]float64)
 	measure := func(w int) (float64, error) {
 		if p, ok := cache[w]; ok {
@@ -185,6 +275,7 @@ func AcceleratedSearch(env Env, leader, w0 int, opts Options) (Result, error) {
 		}
 		env.Broadcast(Message{Type: Ready, From: leader, W: w})
 		p, err := env.LeaderPayoff(w)
+		res.Measurements++
 		if err != nil {
 			return 0, fmt.Errorf("search: measuring payoff at W=%d: %w", w, err)
 		}
@@ -196,7 +287,7 @@ func AcceleratedSearch(env Env, leader, w0 int, opts Options) (Result, error) {
 	env.Broadcast(Message{Type: StartSearch, From: leader, W: w0})
 	best, err := measure(w0)
 	if err != nil {
-		return Result{}, err
+		return res, err
 	}
 	wm := w0
 
@@ -210,7 +301,7 @@ func AcceleratedSearch(env Env, leader, w0 int, opts Options) (Result, error) {
 			}
 			p, err := measure(w)
 			if err != nil {
-				return Result{}, err
+				return res, err
 			}
 			if p <= best+o.MinImprove {
 				break
@@ -235,7 +326,7 @@ func AcceleratedSearch(env Env, leader, w0 int, opts Options) (Result, error) {
 				}
 				p, err := measure(w)
 				if err != nil {
-					return Result{}, err
+					return res, err
 				}
 				if p > best+o.MinImprove {
 					best, wm = p, w

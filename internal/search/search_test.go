@@ -118,8 +118,34 @@ func TestRunStopsAtWMax(t *testing.T) {
 
 func TestRunPropagatesMeasurementError(t *testing.T) {
 	env := &errEnv{failAt: 12}
-	if _, err := Run(env, 0, 10, Options{WMax: 100}); err == nil {
+	res, err := Run(env, 0, 10, Options{WMax: 100})
+	if err == nil {
 		t.Fatal("measurement error swallowed")
+	}
+	// The probes gathered before the failure (W=10, 11) must survive so
+	// callers can see where the walk died.
+	if res.ProbeCount() != 2 {
+		t.Fatalf("partial result has %d probes, want 2 (W=10, 11)", res.ProbeCount())
+	}
+	for i, want := range []int{10, 11} {
+		if res.Probes[i].W != want {
+			t.Errorf("partial probe %d at W=%d, want %d", i, res.Probes[i].W, want)
+		}
+	}
+	if res.Measurements != 3 {
+		t.Errorf("measurements = %d, want 3 (two good, one failed)", res.Measurements)
+	}
+}
+
+func TestAcceleratedPropagatesPartialResult(t *testing.T) {
+	// 13 is on the geometric path from 10 (11, 13, 17, ...).
+	env := &errEnv{failAt: 13}
+	res, err := AcceleratedSearch(env, 0, 10, Options{WMax: 100})
+	if err == nil {
+		t.Fatal("measurement error swallowed")
+	}
+	if res.ProbeCount() == 0 {
+		t.Fatal("accelerated search discarded partial probes on error")
 	}
 }
 
@@ -299,6 +325,47 @@ func TestLossyEnvStillConvergesNearNE(t *testing.T) {
 	if u < 0.95*ne.UStar {
 		t.Errorf("lossy search found W=%d with utility %.3g vs peak %.3g (NE %d)",
 			res.W, u, ne.UStar, ne.WStar)
+	}
+}
+
+func TestLossyEnvRecordsDeliveryOutcomes(t *testing.T) {
+	g := mustGame(t, 10, phy.RTSCTS)
+	inner, err := NewAnalyticEnv(g, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := NewLossyEnv(inner, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(lossy, 0, 8, Options{WMax: g.Config().WMax}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lossy.Deliveries) != len(inner.Log) {
+		t.Fatalf("%d delivery records for %d sent messages", len(lossy.Deliveries), len(inner.Log))
+	}
+	// At 30% loss over a full walk some followers must have missed
+	// messages, and the Dropped counter must equal the recorded misses.
+	missed := 0
+	for i, d := range lossy.Deliveries {
+		if d.Msg != inner.Log[i] {
+			t.Fatalf("delivery %d records %+v, log has %+v", i, d.Msg, inner.Log[i])
+		}
+		missed += len(d.Missed)
+		for _, f := range d.Missed {
+			if f == 0 {
+				t.Fatal("the leader cannot miss its own broadcast")
+			}
+		}
+		if d.Msg.Type == Announce && len(d.Missed) != 0 {
+			t.Fatalf("announce recorded misses: %+v", d)
+		}
+	}
+	if missed == 0 {
+		t.Fatal("30% loss produced no recorded misses")
+	}
+	if lossy.Dropped != missed {
+		t.Fatalf("Dropped = %d but deliveries record %d misses", lossy.Dropped, missed)
 	}
 }
 

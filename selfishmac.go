@@ -37,6 +37,7 @@ import (
 	"selfishmac/internal/bianchi"
 	"selfishmac/internal/core"
 	"selfishmac/internal/detect"
+	"selfishmac/internal/faults"
 	"selfishmac/internal/macsim"
 	"selfishmac/internal/multihop"
 	"selfishmac/internal/phy"
@@ -286,6 +287,47 @@ func RunSearch(env SearchEnv, leader, w0 int, opts SearchOptions) (SearchResult,
 // RunAcceleratedSearch executes the O(log W*) variant.
 func RunAcceleratedSearch(env SearchEnv, leader, w0 int, opts SearchOptions) (SearchResult, error) {
 	return search.AcceleratedSearch(env, leader, w0, opts)
+}
+
+// Fault injection and resilient search (deployment robustness).
+type (
+	// FaultConfig selects which protocol faults a FaultyEnv injects:
+	// broadcast drop, duplication, delay/reordering, payoff outliers,
+	// transient measurement failures, and crash-stop of followers or the
+	// leader. The zero value injects nothing.
+	FaultConfig = faults.Config
+	// FaultStats counts every injected fault.
+	FaultStats = faults.Stats
+	// FaultyEnv wraps any SearchEnv with deterministic, seed-replayable
+	// fault injection.
+	FaultyEnv = faults.FaultyEnv
+	// SearchDelivery is one lossy broadcast's per-follower outcome.
+	SearchDelivery = search.Delivery
+	// MultihopChurnConfig models node churn during a multi-hop run
+	// (MultihopEngine.WithChurn).
+	MultihopChurnConfig = multihop.ChurnConfig
+)
+
+// NewFaultyEnv wraps inner with the configured fault injection. Every
+// fault stream is derived from cfg.Seed, so a scenario replays
+// byte-identically from its seed alone.
+func NewFaultyEnv(inner SearchEnv, cfg FaultConfig) (*FaultyEnv, error) {
+	return faults.New(inner, cfg)
+}
+
+// RunResilientSearch executes the Section V.C walk hardened for
+// deployment: retry with bounded backoff, median-of-k measurement,
+// Ready re-broadcast on missed acknowledgement, deputy failover after a
+// leader crash, and best-so-far degradation on an exhausted probe budget
+// (SearchResult.Degraded).
+func RunResilientSearch(env SearchEnv, leader, w0 int, opts SearchOptions) (SearchResult, error) {
+	return search.ResilientRun(env, leader, w0, opts)
+}
+
+// RunResilientAcceleratedSearch is the accelerated walk with the same
+// hardening as RunResilientSearch.
+func RunResilientAcceleratedSearch(env SearchEnv, leader, w0 int, opts SearchOptions) (SearchResult, error) {
+	return search.ResilientAcceleratedSearch(env, leader, w0, opts)
 }
 
 // CW observation and misbehavior detection (the paper's ref [3]
