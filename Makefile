@@ -3,7 +3,7 @@
 # How long `test-fuzz` spends per fuzz target.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-fuzz test-race cover bench bench-quick experiments experiments-quick fmt
+.PHONY: all build vet test test-diff test-fuzz test-race cover bench bench-quick bench-json experiments experiments-quick fmt
 
 all: build test test-race
 
@@ -14,10 +14,19 @@ vet:
 	go vet ./...
 
 # The default test path: vet, the full suite (which replays every fuzz
-# seed corpus), then a short live-fuzz pass over each target.
+# seed corpus), the engine-equivalence matrix, then a short live-fuzz
+# pass over each target.
 test: vet
 	go test ./...
+	$(MAKE) test-diff
 	$(MAKE) test-fuzz
+
+# Differential equivalence: the event-skipping engines must reproduce
+# the reference loops bit for bit across the whole config matrix
+# (heterogeneous CW, per-node frame times, mobility, churn). Already
+# part of `go test ./...`; this target runs just the matrix, verbosely.
+test-diff:
+	go test -run='^TestDifferential' -v ./internal/macsim ./internal/multihop
 
 # `go test -fuzz` takes one target per invocation, so run them one by one.
 test-fuzz:
@@ -42,6 +51,13 @@ bench:
 # benchmark (including the solver-cache counters) in seconds, not minutes.
 bench-quick:
 	go test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# Regenerate BENCH_sim.json, the simulator perf trajectory: ns/op,
+# allocs/op and events/sec for the event-skipping engines vs the pinned
+# reference loops, per scenario. Commit the refreshed file with any PR
+# that touches a simulator hot loop.
+bench-json:
+	go run ./cmd/bench -out BENCH_sim.json
 
 # Regenerate every paper table/figure into results/ (paper-faithful scale).
 experiments:

@@ -1,0 +1,300 @@
+// Command bench measures both simulator engines — the event-skipping
+// production engines (macsim.Run, multihop.Simulate) and the pinned
+// reference loops (macsim.RunReference, multihop.SimulateReference) —
+// and writes the results to a machine-readable JSON file. The file is
+// the repository's simulator perf trajectory: each entry carries ns/op,
+// allocs/op, bytes/op and events/sec per engine, plus fast-over-reference
+// speedup ratios per scenario, so regressions and future speedups are
+// measurable PR over PR.
+//
+// Usage:
+//
+//	bench [-out BENCH_sim.json] [-quick] [-benchtime 1s] [-only substr]
+//
+// The default profile runs paper-faithful scenario durations (seconds of
+// simulated time per op); -quick shrinks them for smoke runs. -benchtime
+// is forwarded to the testing package (e.g. "100ms" or "5x").
+//
+// Events are channel events for macsim (success + collision busy
+// periods) and transmission attempts for multihop; both engines of a
+// scenario simulate the identical (bit-for-bit) trajectory, so their
+// event counts match and events/sec is directly comparable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"selfishmac/internal/macsim"
+	"selfishmac/internal/multihop"
+	"selfishmac/internal/phy"
+	"selfishmac/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// EngineResult is one (scenario, engine) measurement.
+type EngineResult struct {
+	Name         string  `json:"name"`   // scenario/engine
+	Engine       string  `json:"engine"` // "fast" or "reference"
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerRun int64   `json:"events_per_run"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Iterations   int     `json:"iterations"`
+}
+
+// File is the BENCH_sim.json schema. Extend it by appending scenarios in
+// scenarios(); consumers must ignore unknown fields.
+type File struct {
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Profile    string             `json:"profile"` // "paper" or "quick"
+	Note       string             `json:"note"`
+	Benchmarks []EngineResult     `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"` // scenario -> reference/fast ns ratio
+}
+
+// scenario is one workload measured under both engines. runFast and
+// runRef must simulate the identical trajectory; events is the per-run
+// event count used for the events/sec rate.
+type scenario struct {
+	name    string
+	events  int64
+	runFast func() error
+	runRef  func() error
+}
+
+func uniformCW(w, n int) []int {
+	cw := make([]int, n)
+	for i := range cw {
+		cw[i] = w
+	}
+	return cw
+}
+
+// macsimScenario builds a single-collision-domain workload: n nodes at
+// the paper's efficient-NE CW for that population.
+func macsimScenario(name string, w, n int, duration float64) (scenario, error) {
+	cfg := macsim.Config{
+		Timing:   phy.Default().MustTiming(phy.Basic),
+		MaxStage: phy.Default().MaxBackoffStage,
+		CW:       uniformCW(w, n),
+		Duration: duration,
+		Seed:     1,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	probe, err := macsim.Run(cfg)
+	if err != nil {
+		return scenario{}, err
+	}
+	return scenario{
+		name:   name,
+		events: probe.SuccessEvents + probe.CollisionEvents,
+		runFast: func() error {
+			_, err := macsim.Run(cfg)
+			return err
+		},
+		runRef: func() error {
+			_, err := macsim.RunReference(cfg)
+			return err
+		},
+	}, nil
+}
+
+// multihopScenario builds a spatial workload over a random-waypoint
+// network snapshot. Each op reconstructs the network (microseconds,
+// identical for both engines) because mobile runs mutate it.
+func multihopScenario(name string, topoCfg topology.Config, cfg multihop.SimConfig) (scenario, error) {
+	newNet := func() (*topology.Network, error) { return topology.New(topoCfg) }
+	nw, err := newNet()
+	if err != nil {
+		return scenario{}, err
+	}
+	probe, err := multihop.Simulate(nw, cfg)
+	if err != nil {
+		return scenario{}, err
+	}
+	var events int64
+	for _, nd := range probe.Nodes {
+		events += nd.Attempts
+	}
+	return scenario{
+		name:   name,
+		events: events,
+		runFast: func() error {
+			nw, err := newNet()
+			if err != nil {
+				return err
+			}
+			_, err = multihop.Simulate(nw, cfg)
+			return err
+		},
+		runRef: func() error {
+			nw, err := newNet()
+			if err != nil {
+				return err
+			}
+			_, err = multihop.SimulateReference(nw, cfg)
+			return err
+		},
+	}, nil
+}
+
+// scenarios assembles the suite. quick shrinks simulated durations; the
+// default profile is paper-faithful (1000 s single-hop runs in the NE
+// tables use the same engine; here 20 s keeps a full bench under a few
+// minutes while still dominated by the hot loop).
+func scenarios(quick bool) ([]scenario, error) {
+	shDur, mhDur := 20e6, 60e6 // microseconds of simulated time per op
+	if quick {
+		shDur, mhDur = 1e6, 1e6
+	}
+	var out []scenario
+
+	s, err := macsimScenario("macsim/basic-n20-w336", 336, 20, shDur)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+	s, err = macsimScenario("macsim/basic-n50-w879", 879, 50, shDur)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+
+	// Sparse 50-node network (mean degree ~4): the acceptance scenario.
+	sparse := topology.Config{N: 50, Width: 1000, Height: 1000, Range: 180, Seed: 11}
+	simCfg := multihop.DefaultSimConfig(mhDur, 7)
+	simCfg.CW = uniformCW(116, 50)
+	s, err = multihopScenario("multihop/sparse-n50-w116", sparse, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+
+	// The paper's Section VII.B mobile scenario at the converged Wm.
+	paper := topology.PaperConfig(13)
+	mob := multihop.DefaultSimConfig(mhDur, 9)
+	mob.CW = uniformCW(26, paper.N)
+	mob.MobilityEvery = 1e6
+	s, err = multihopScenario("multihop/mobile-n100-w26", paper, mob)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+	return out, nil
+}
+
+// measure runs fn under testing.Benchmark and folds in the scenario's
+// deterministic event count.
+func measure(name, engine string, events int64, fn func() error) (EngineResult, error) {
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return EngineResult{}, fmt.Errorf("%s/%s: %w", name, engine, benchErr)
+	}
+	ns := float64(r.NsPerOp())
+	res := EngineResult{
+		Name:         name + "/" + engine,
+		Engine:       engine,
+		NsPerOp:      ns,
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		EventsPerRun: events,
+		Iterations:   r.N,
+	}
+	if ns > 0 {
+		res.EventsPerSec = float64(events) / (ns / 1e9)
+	}
+	return res, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_sim.json", "output JSON file")
+	quick := fs.Bool("quick", false, "shrink simulated durations (smoke profile)")
+	benchtime := fs.String("benchtime", "1s", "per-benchmark time or iteration count (forwarded to the testing package, e.g. 200ms or 3x)")
+	only := fs.String("only", "", "run only scenarios whose name contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return fmt.Errorf("invalid -benchtime: %w", err)
+	}
+
+	suite, err := scenarios(*quick)
+	if err != nil {
+		return err
+	}
+	profile := "paper"
+	if *quick {
+		profile = "quick"
+	}
+	file := File{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Profile:    profile,
+		Note: "ns/op, allocs/op and events/sec for the event-skipping simulator engines " +
+			"(fast) vs the pinned reference loops; speedups are reference-ns / fast-ns. " +
+			"Regenerate with `make bench-json`.",
+		Speedups: map[string]float64{},
+	}
+	for _, sc := range suite {
+		if *only != "" && !strings.Contains(sc.name, *only) {
+			continue
+		}
+		fast, err := measure(sc.name, "fast", sc.events, sc.runFast)
+		if err != nil {
+			return err
+		}
+		ref, err := measure(sc.name, "reference", sc.events, sc.runRef)
+		if err != nil {
+			return err
+		}
+		file.Benchmarks = append(file.Benchmarks, fast, ref)
+		if fast.NsPerOp > 0 {
+			file.Speedups[sc.name] = ref.NsPerOp / fast.NsPerOp
+		}
+		fmt.Printf("%-28s fast %12.0f ns/op %6d allocs/op %12.0f events/s | ref %12.0f ns/op | speedup %.2fx\n",
+			sc.name, fast.NsPerOp, fast.AllocsPerOp, fast.EventsPerSec, ref.NsPerOp, file.Speedups[sc.name])
+	}
+	if len(file.Benchmarks) == 0 {
+		return fmt.Errorf("no scenario matches -only %q", *only)
+	}
+
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(file.Benchmarks))
+	return nil
+}

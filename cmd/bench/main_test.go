@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// End-to-end smoke: the quick profile at one iteration per benchmark must
+// produce a parseable BENCH_sim.json covering every scenario under both
+// engines, with sane numbers.
+func TestBenchWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := run([]string{"-quick", "-benchtime", "1x", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if f.Profile != "quick" || f.GoVersion == "" || f.Generated == "" {
+		t.Fatalf("metadata incomplete: %+v", f)
+	}
+	wantScenarios := []string{
+		"macsim/basic-n20-w336",
+		"macsim/basic-n50-w879",
+		"multihop/sparse-n50-w116",
+		"multihop/mobile-n100-w26",
+	}
+	if len(f.Benchmarks) != 2*len(wantScenarios) {
+		t.Fatalf("got %d benchmark entries, want %d", len(f.Benchmarks), 2*len(wantScenarios))
+	}
+	byName := map[string]EngineResult{}
+	for _, b := range f.Benchmarks {
+		byName[b.Name] = b
+		if b.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive ns/op %g", b.Name, b.NsPerOp)
+		}
+		if b.EventsPerRun <= 0 || b.EventsPerSec <= 0 {
+			t.Errorf("%s: missing event rate (%d events, %g/s)", b.Name, b.EventsPerRun, b.EventsPerSec)
+		}
+	}
+	for _, s := range wantScenarios {
+		fast, okF := byName[s+"/fast"]
+		ref, okR := byName[s+"/reference"]
+		if !okF || !okR {
+			t.Fatalf("scenario %s missing an engine entry", s)
+		}
+		if fast.EventsPerRun != ref.EventsPerRun {
+			t.Errorf("%s: engines disagree on event count: %d vs %d — trajectories diverged",
+				s, fast.EventsPerRun, ref.EventsPerRun)
+		}
+		if _, ok := f.Speedups[s]; !ok {
+			t.Errorf("scenario %s missing a speedup entry", s)
+		}
+	}
+}
+
+func TestBenchOnlyFilter(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "b.json")
+	if err := run([]string{"-quick", "-benchtime", "1x", "-only", "macsim/basic-n20", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("filter kept %d entries, want 2", len(f.Benchmarks))
+	}
+	if err := run([]string{"-quick", "-only", "nosuch", "-out", out}); err == nil {
+		t.Fatal("unknown -only filter did not error")
+	}
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-quick] [-out results] [-only T2,F3] [-seed 1] [-jobs 4]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no flags it runs the full paper-faithful profile (1000-second
 // single-hop simulations, the 100-node mobile scenario); -quick switches
@@ -25,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -53,8 +55,36 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "master random seed")
 	jobs := fs.Int("jobs", 0, "max concurrent experiment runners and per-runner sweep workers (0 = GOMAXPROCS)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file when the run completes")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
 	}
 
 	all := experiments.All()

@@ -1,0 +1,29 @@
+// Package backoff holds the one piece of DCF mechanics both simulators
+// must agree on exactly: the contention-window schedule. The window at
+// backoff stage j is W·2^j, capped at W·2^m — a node's window can never
+// exceed cw << maxStage no matter what stage value it carries.
+//
+// Both internal/macsim and internal/multihop draw their backoff counters
+// through this package, so the defensive cap (previously present only in
+// macsim) is applied uniformly and the two engines cannot drift apart.
+package backoff
+
+import "selfishmac/internal/rng"
+
+// Window returns the contention window at the given stage: cw << stage,
+// capped at cw << maxStage. Stages are normally capped when they advance,
+// so the cap here is defensive, but it guarantees the invariant for any
+// caller state.
+func Window(cw, stage, maxStage int) int {
+	if stage > maxStage {
+		stage = maxStage
+	}
+	return cw << stage
+}
+
+// Draw returns a fresh uniform backoff counter in [0, Window) for the
+// given stage. It consumes exactly one value from src, which is part of
+// the simulators' determinism contract (PRNG draw order).
+func Draw(src *rng.Source, cw, stage, maxStage int) int {
+	return src.Intn(Window(cw, stage, maxStage))
+}

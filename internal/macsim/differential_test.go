@@ -1,0 +1,198 @@
+package macsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/phy"
+)
+
+// differential_test.go pins the determinism contract of the event-skipping
+// engine: Run (calendar queue, fast.go) must produce a byte-identical
+// Result — every counter, payoff and slot decomposition, bit for bit — to
+// RunReference (the original min-scan loop) for every configuration,
+// because both consume the PRNG stream in the same order.
+
+// diffConfigs builds the equivalence matrix: uniform and heterogeneous
+// CW profiles, both access modes, per-node Ts/Tc overrides, degenerate
+// windows, varied stage caps, seeds and durations.
+func diffConfigs(t testing.TB) []Config {
+	t.Helper()
+	basic := phy.Default().MustTiming(phy.Basic)
+	rtscts := phy.Default().MustTiming(phy.RTSCTS)
+	mk := func(tm phy.Timing, maxStage int, cw []int, dur float64, seed uint64) Config {
+		return Config{
+			Timing: tm, MaxStage: maxStage, CW: cw,
+			Duration: dur, Seed: seed, Gain: 1, Cost: 0.01,
+		}
+	}
+	cfgs := []Config{
+		// Uniform profiles across populations, both modes.
+		mk(basic, 6, uniform(32, 2), 2e6, 1),
+		mk(basic, 6, uniform(76, 5), 2e6, 2),
+		mk(basic, 6, uniform(336, 20), 2e6, 3),
+		mk(basic, 6, uniform(879, 50), 2e6, 4),
+		mk(rtscts, 6, uniform(22, 5), 2e6, 5),
+		mk(rtscts, 6, uniform(116, 50), 2e6, 6),
+		// Heterogeneous CW (the mean-field-breaking case).
+		mk(basic, 6, []int{32, 64, 128, 256, 512}, 2e6, 7),
+		mk(basic, 6, []int{1, 1000}, 1e6, 8),
+		mk(rtscts, 6, []int{16, 16, 333, 501, 7, 90}, 2e6, 9),
+		// Degenerate windows and stage caps.
+		mk(basic, 0, uniform(1, 2), 5e5, 10), // pure collision
+		mk(basic, 0, uniform(16, 4), 1e6, 11),
+		mk(basic, 16, uniform(4, 6), 1e6, 12),
+		mk(basic, 3, []int{2, 3, 5, 7}, 1e6, 13),
+		// Single node, tiny duration (boundary: one event may overshoot).
+		mk(basic, 6, uniform(16, 1), 100, 14),
+	}
+	// Per-node Ts/Tc overrides, heterogeneous and mixed with CW spread.
+	het := mk(basic, 6, []int{64, 64, 64}, 2e6, 15)
+	het.PerNodeTs = []float64{basic.Ts, 3 * basic.Ts, 0.5 * basic.Ts}
+	cfgs = append(cfgs, het)
+	het2 := mk(basic, 6, []int{32, 128, 64, 256}, 2e6, 16)
+	het2.PerNodeTc = []float64{basic.Tc, 2 * basic.Tc, 0.25 * basic.Tc, 5 * basic.Tc}
+	cfgs = append(cfgs, het2)
+	het3 := mk(rtscts, 6, []int{48, 48, 200, 9}, 2e6, 17)
+	het3.PerNodeTs = []float64{rtscts.Ts, 2.5 * rtscts.Ts, rtscts.Ts, 4 * rtscts.Ts}
+	het3.PerNodeTc = []float64{2 * rtscts.Tc, rtscts.Tc, 3 * rtscts.Tc, rtscts.Tc}
+	cfgs = append(cfgs, het3)
+	// Gain/cost variations feed the payoff formula.
+	gc := mk(basic, 6, uniform(64, 3), 1e6, 18)
+	gc.Gain, gc.Cost = 2.5, 0.3
+	cfgs = append(cfgs, gc)
+	return cfgs
+}
+
+func uniform(w, n int) []int {
+	cw := make([]int, n)
+	for i := range cw {
+		cw[i] = w
+	}
+	return cw
+}
+
+func TestDifferentialFastMatchesReference(t *testing.T) {
+	for ci, cfg := range diffConfigs(t) {
+		t.Run(fmt.Sprintf("cfg%02d", ci), func(t *testing.T) {
+			want, err := RunReference(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("fast engine diverged from reference:\nfast: %+v\nref:  %+v", got, want)
+			}
+		})
+	}
+}
+
+// The huge-window fallback path must also match (trivially — it *is* the
+// reference) and must actually engage.
+func TestDifferentialFallbackHugeWindow(t *testing.T) {
+	cfg := Config{
+		Timing:   phy.Default().MustTiming(phy.Basic),
+		MaxStage: 16,
+		CW:       []int{fastWindowCap, fastWindowCap}, // cw << 16 overflows the calendar cap
+		Duration: 1e5,
+		Seed:     21,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	if _, ok := newFastEngine(&cfg); ok {
+		t.Fatal("calendar engine accepted a window beyond fastWindowCap")
+	}
+	want, err := RunReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fallback path diverged from reference")
+	}
+}
+
+// Seed sweep over one mid-size heterogeneous config: draw-order bugs that
+// need a particular collision pattern to surface show up across seeds.
+func TestDifferentialSeedSweep(t *testing.T) {
+	base := Config{
+		Timing:   phy.Default().MustTiming(phy.Basic),
+		MaxStage: 6,
+		CW:       []int{16, 32, 48, 64, 96, 128, 256, 333},
+		Duration: 1e6,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	for seed := uint64(0); seed < 25; seed++ {
+		cfg := base
+		cfg.Seed = seed
+		want, err := RunReference(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: fast engine diverged from reference", seed)
+		}
+	}
+}
+
+// The acceptance criterion on the hot loop: after setup, a full run of
+// the calendar engine performs zero allocations.
+func TestFastEngineHotLoopAllocationFree(t *testing.T) {
+	cfg := Config{
+		Timing:   phy.Default().MustTiming(phy.Basic),
+		MaxStage: 6,
+		CW:       uniform(336, 20),
+		Duration: 1e6,
+		Seed:     1,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	e, ok := newFastEngine(&cfg)
+	if !ok {
+		t.Fatal("fast engine rejected a standard config")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		e.reset()
+		e.run()
+	})
+	if allocs != 0 {
+		t.Fatalf("hot loop (reset+run) allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// reset must fully restore the engine: repeated runs are bit-identical.
+func TestFastEngineResetReproducible(t *testing.T) {
+	cfg := Config{
+		Timing:   phy.Default().MustTiming(phy.Basic),
+		MaxStage: 6,
+		CW:       []int{32, 64, 128},
+		Duration: 1e6,
+		Seed:     9,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	e, ok := newFastEngine(&cfg)
+	if !ok {
+		t.Fatal("fast engine rejected a standard config")
+	}
+	first := *e.run()
+	firstNodes := append([]NodeStats(nil), first.Nodes...)
+	e.reset()
+	second := e.run()
+	if first.Slots != second.Slots || first.Time != second.Time ||
+		!reflect.DeepEqual(firstNodes, second.Nodes) {
+		t.Fatal("reset run diverged from first run")
+	}
+}

@@ -1,0 +1,250 @@
+package macsim
+
+import (
+	"math/bits"
+
+	"selfishmac/internal/backoff"
+	"selfishmac/internal/rng"
+)
+
+// fast.go is the event-skipping engine behind Run. It replaces the
+// reference loop's per-event O(n) work — min-scan over counters, counter
+// decrement for every node, transmitter collection scan — with a global
+// virtual-slot clock and a bucketed calendar queue of per-node absolute
+// expiry slots, making each event O(k) for k transmitters plus a cheap
+// occupancy-bitmap scan.
+//
+// The key observation making expiries absolute is that in the reference
+// loop a busy period costs every bystander exactly one counter decrement
+// (a virtual slot), while the clock also advances by one virtual slot —
+// so a non-transmitter's absolute expiry slot never changes across a busy
+// event. Only transmitters redraw: their new expiry is the event slot + 1
+// (the busy virtual slot) + the fresh counter.
+//
+// Determinism contract: the engine consumes the PRNG in exactly the
+// reference order (initial draws in node order; per event, the single
+// successful transmitter or all colliding transmitters in ascending node
+// order), accumulates elapsed time in the same order with the same
+// values, and computes identical statistics. The differential tests pin
+// byte-identical Results.
+//
+// The hot loop performs no allocations after setup: the calendar is an
+// intrusive singly-linked list over preallocated arrays, the PRNG is
+// embedded by value, and the transmitter scratch slice is reused.
+
+// fastWindowCap bounds the calendar size: the largest supported
+// contention window (cw << maxStage). Configurations beyond it — far
+// outside any 802.11 parameterisation — fall back to the reference loop.
+const fastWindowCap = 1 << 20
+
+type fastEngine struct {
+	cfg *Config
+	n   int
+
+	// Per-node state.
+	cw     []int
+	stage  []int
+	expiry []int64   // absolute virtual slot at which the node transmits
+	ts     []float64 // success hold per node (PerNodeTs or Timing.Ts)
+	tc     []float64 // collision-hold contribution (PerNodeTc or Timing.Tc)
+
+	// Bucketed calendar queue over expiry slots. bucket(b) is an
+	// intrusive list head[b] -> next[...] of node ids; occ is a bitmap of
+	// non-empty buckets. Capacity exceeds the largest window, so all live
+	// expiries fit in one wrap of the calendar and every non-empty bucket
+	// holds nodes of exactly one expiry value.
+	mask int64
+	head []int32
+	next []int32
+	occ  []uint64
+
+	src          rng.Source
+	transmitters []int
+	res          Result
+}
+
+// newFastEngine builds and seeds an engine for cfg (which must already be
+// validated). It reports ok=false when the configuration needs the
+// reference fallback.
+func newFastEngine(cfg *Config) (*fastEngine, bool) {
+	n := len(cfg.CW)
+	maxWindow := 0
+	for _, w := range cfg.CW {
+		if w > fastWindowCap>>uint(cfg.MaxStage) {
+			return nil, false
+		}
+		if win := w << uint(cfg.MaxStage); win > maxWindow {
+			maxWindow = win
+		}
+	}
+	// One wrap of the calendar must cover every live expiry: expiries lie
+	// in [cur, cur+maxWindow-1], so any power of two > maxWindow-1 works;
+	// use the next power of two >= maxWindow+1.
+	b := 64
+	for int64(b) < int64(maxWindow)+1 {
+		b <<= 1
+	}
+	e := &fastEngine{
+		cfg:          cfg,
+		n:            n,
+		cw:           make([]int, n),
+		stage:        make([]int, n),
+		expiry:       make([]int64, n),
+		ts:           make([]float64, n),
+		tc:           make([]float64, n),
+		mask:         int64(b) - 1,
+		head:         make([]int32, b),
+		next:         make([]int32, n),
+		occ:          make([]uint64, b/64),
+		transmitters: make([]int, 0, n),
+	}
+	copy(e.cw, cfg.CW)
+	// Satellite fix: hoist the PerNodeTs/PerNodeTc nil-checks out of the
+	// hot loop — tsOf/tcOf closures become two precomputed slices.
+	for i := 0; i < n; i++ {
+		e.ts[i] = cfg.Timing.Ts
+		e.tc[i] = cfg.Timing.Tc
+	}
+	if cfg.PerNodeTs != nil {
+		copy(e.ts, cfg.PerNodeTs)
+	}
+	if cfg.PerNodeTc != nil {
+		copy(e.tc, cfg.PerNodeTc)
+	}
+	e.res.Nodes = make([]NodeStats, n)
+	e.reset()
+	return e, true
+}
+
+// reset re-seeds the PRNG and restores the initial simulator state. It
+// allocates nothing, so (reset + run) pairs can be measured for hot-loop
+// allocations and reused across benchmark iterations.
+func (e *fastEngine) reset() {
+	e.src.Reseed(e.cfg.Seed)
+	for i := range e.head {
+		e.head[i] = -1
+	}
+	for i := range e.occ {
+		e.occ[i] = 0
+	}
+	e.res = Result{Nodes: e.res.Nodes}
+	for i := range e.res.Nodes {
+		e.res.Nodes[i] = NodeStats{}
+	}
+	// Initial draws in node order, exactly like the reference loop.
+	for i := 0; i < e.n; i++ {
+		e.stage[i] = 0
+		e.enqueue(i, 0)
+	}
+}
+
+// enqueue draws a fresh backoff for node i at virtual slot cur and files
+// it in the calendar.
+func (e *fastEngine) enqueue(i int, cur int64) {
+	c := backoff.Draw(&e.src, e.cw[i], e.stage[i], e.cfg.MaxStage)
+	exp := cur + int64(c)
+	e.expiry[i] = exp
+	b := exp & e.mask
+	e.next[i] = e.head[b]
+	e.head[b] = int32(i)
+	e.occ[b>>6] |= 1 << uint(b&63)
+}
+
+// nextBucket returns the first non-empty bucket at or cyclically after
+// virtual slot cur. Because the calendar spans more than the largest
+// window, the cyclically-nearest occupied bucket is the minimum expiry.
+func (e *fastEngine) nextBucket(cur int64) int64 {
+	b0 := cur & e.mask
+	w := int(b0 >> 6)
+	word := e.occ[w] &^ (1<<uint(b0&63) - 1)
+	for word == 0 {
+		w++
+		if w == len(e.occ) {
+			w = 0
+		}
+		word = e.occ[w]
+	}
+	return int64(w<<6 + bits.TrailingZeros64(word))
+}
+
+// run executes the simulation to completion and finalises the result.
+func (e *fastEngine) run() *Result {
+	cfg := e.cfg
+	res := &e.res
+	var elapsed float64
+	var cur int64 // current virtual slot
+
+	for elapsed < cfg.Duration {
+		b := e.nextBucket(cur)
+		emin := e.expiry[e.head[b]] // bucket holds one expiry value only
+		if minC := emin - cur; minC > 0 {
+			elapsed += float64(minC) * cfg.Timing.Slot
+			res.Slots += minC
+			res.IdleSlots += minC
+		}
+		// Drain the bucket: it contains exactly the transmitter set.
+		tx := e.transmitters[:0]
+		for i := e.head[b]; i >= 0; i = e.next[i] {
+			tx = append(tx, int(i))
+		}
+		e.head[b] = -1
+		e.occ[b>>6] &^= 1 << uint(b&63)
+		sortAscending(tx) // draw order is ascending node order
+		e.transmitters = tx
+
+		res.Slots++
+		cur = emin + 1
+		if len(tx) == 1 {
+			i := tx[0]
+			res.SuccessEvents++
+			res.Nodes[i].Attempts++
+			res.Nodes[i].Successes++
+			elapsed += e.ts[i]
+			e.stage[i] = 0
+			e.enqueue(i, cur)
+		} else {
+			res.CollisionEvents++
+			d := e.tc[tx[0]] // longest colliding frame holds the channel
+			for _, i := range tx[1:] {
+				if e.tc[i] > d {
+					d = e.tc[i]
+				}
+			}
+			elapsed += d
+			for _, i := range tx {
+				res.Nodes[i].Attempts++
+				res.Nodes[i].Collisions++
+				if e.stage[i] < cfg.MaxStage {
+					e.stage[i]++
+				}
+				e.enqueue(i, cur)
+			}
+		}
+	}
+
+	res.Time = elapsed
+	res.Throughput = 0
+	for i := range res.Nodes {
+		st := &res.Nodes[i]
+		st.PayoffRate = (float64(st.Successes)*cfg.Gain - float64(st.Attempts)*cfg.Cost) / elapsed
+		st.Throughput = float64(st.Successes) * cfg.Timing.Payload / elapsed
+		if res.Slots > 0 {
+			st.MeasuredTau = float64(st.Attempts) / float64(res.Slots)
+		}
+		if st.Attempts > 0 {
+			st.MeasuredP = float64(st.Collisions) / float64(st.Attempts)
+		}
+		res.Throughput += st.Throughput
+	}
+	return res
+}
+
+// sortAscending insertion-sorts the (typically 1–3 element) transmitter
+// set without allocating.
+func sortAscending(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

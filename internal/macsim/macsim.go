@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 
+	"selfishmac/internal/backoff"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/rng"
 )
@@ -173,19 +174,42 @@ type nodeState struct {
 }
 
 // draw sets a fresh uniform backoff counter from the node's current stage.
+// The max-stage window cap is applied by the shared backoff helper, so the
+// window can never exceed cw << maxStage (stage is also capped on advance).
 func (n *nodeState) draw(r *rng.Source, maxStage int) {
-	w := n.cw << n.stage
-	if n.stage > maxStage { // defensive; stage is capped on advance
-		w = n.cw << maxStage
-	}
-	n.counter = r.Intn(w)
+	n.counter = backoff.Draw(r, n.cw, n.stage, maxStage)
 }
 
 // Run simulates the configured scenario to completion.
+//
+// It uses the event-skipping calendar-queue engine (fast.go), which is
+// bit-identical to RunReference: same PRNG draw order, same counters, same
+// float accumulation order. Configurations whose maximum contention window
+// exceeds the calendar capacity fall back to the reference loop.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("macsim: invalid config: %w", err)
 	}
+	e, ok := newFastEngine(&cfg)
+	if !ok {
+		return runReference(&cfg), nil
+	}
+	return e.run(), nil
+}
+
+// RunReference simulates the scenario with the original per-event
+// min-scan/decrement loop. It is kept verbatim as the pinned semantics of
+// the simulator: the differential tests assert Run produces byte-identical
+// results, and cmd/bench measures the speedup against it.
+func RunReference(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("macsim: invalid config: %w", err)
+	}
+	return runReference(&cfg), nil
+}
+
+// runReference is the historical hot loop, unchanged.
+func runReference(cfg *Config) *Result {
 	src := rng.New(cfg.Seed)
 	n := len(cfg.CW)
 	nodes := make([]nodeState, n)
@@ -267,7 +291,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.Throughput += st.Throughput
 	}
-	return res, nil
+	return res
 }
 
 // RunUniform is a convenience wrapper simulating n nodes all at CW w.

@@ -1,0 +1,225 @@
+package multihop
+
+import (
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/core"
+	"selfishmac/internal/phy"
+	"selfishmac/internal/topology"
+)
+
+// differential_test.go pins the determinism contract of the event-skipping
+// spatial engine: Simulate (fastsim.go) must produce byte-identical
+// SimResults to SimulateReference (the original slot-by-slot loop) —
+// same counters, hidden-collision attribution, payoffs — across static,
+// mobile and churn-masked topologies, because both consume the simulator
+// PRNG in the same order and step mobility at the same slots.
+
+// diffCase is one (topology factory, sim config) pair. Topologies are
+// built fresh per engine run because mobile networks are mutated.
+type diffCase struct {
+	name string
+	topo func(t *testing.T) Topology
+	cfg  SimConfig
+}
+
+func simCfg(mode phy.AccessMode, cw []int, dur float64, seed uint64) SimConfig {
+	return SimConfig{
+		Timing:   phy.Default().MustTiming(mode),
+		MaxStage: phy.Default().MaxBackoffStage,
+		CW:       cw,
+		Duration: dur,
+		Seed:     seed,
+		Gain:     1,
+		Cost:     1e-4,
+	}
+}
+
+func randomNetwork(t *testing.T, n int, rangeM float64, seed uint64) *topology.Network {
+	t.Helper()
+	nw, err := topology.New(topology.Config{
+		N: n, Width: 1000, Height: 1000, Range: rangeM,
+		MinSpeed: 0, MaxSpeed: 5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	line := func(*testing.T) Topology {
+		return &fixedGraph{adj: [][]int{{1}, {0, 2}, {1, 3}, {2, 4}, {3}}}
+	}
+	star := func(*testing.T) Topology {
+		return &fixedGraph{adj: [][]int{{1, 2, 3, 4, 5}, {0}, {0}, {0}, {0}, {0}}}
+	}
+	pairPlusIsolated := func(*testing.T) Topology {
+		// Node 2 is isolated: it exercises the redraw-without-transmit
+		// path on every one of its fire slots.
+		return &fixedGraph{adj: [][]int{{1}, {0}, nil}}
+	}
+	hiddenTriple := func(*testing.T) Topology {
+		// Classic hidden-terminal line: 0 and 2 cannot hear each other
+		// but both reach 1.
+		return &fixedGraph{adj: [][]int{{1}, {0, 2}, {1}}}
+	}
+	sparse50 := func(t *testing.T) Topology { return randomNetwork(t, 50, 180, 11) }
+	dense20 := func(t *testing.T) Topology { return randomNetwork(t, 20, 400, 12) }
+	mobile50 := func(t *testing.T) Topology { return randomNetwork(t, 50, 250, 13) }
+	mobile100 := func(t *testing.T) Topology { return randomNetwork(t, 100, 250, 14) }
+	churnMasked := func(active []bool, seed uint64) func(*testing.T) Topology {
+		return func(t *testing.T) Topology {
+			return &maskedTopology{base: randomNetwork(t, len(active), 300, seed), active: active}
+		}
+	}
+	mask20 := make([]bool, 20)
+	for i := range mask20 {
+		mask20[i] = i%3 != 0 // a third of the nodes departed
+	}
+	mask8 := []bool{true, false, true, true, false, false, true, true}
+
+	mob := func(cfg SimConfig, every float64) SimConfig {
+		cfg.MobilityEvery = every
+		return cfg
+	}
+	het := simCfg(phy.RTSCTS, []int{16, 200, 48, 48, 999}, 4e6, 7)
+
+	return []diffCase{
+		{"line5-uniform", line, simCfg(phy.RTSCTS, uniformCW(32, 5), 4e6, 1)},
+		{"line5-heterogeneous", line, simCfg(phy.RTSCTS, []int{8, 64, 16, 128, 32}, 4e6, 2)},
+		{"star6-basic", star, simCfg(phy.Basic, uniformCW(64, 6), 4e6, 3)},
+		{"pair-plus-isolated", pairPlusIsolated, simCfg(phy.RTSCTS, uniformCW(16, 3), 2e6, 4)},
+		{"hidden-triple", hiddenTriple, simCfg(phy.RTSCTS, uniformCW(32, 3), 4e6, 5)},
+		{"hidden-triple-aggressive", hiddenTriple, simCfg(phy.RTSCTS, []int{2, 8, 2}, 2e6, 6)},
+		{"heterogeneous-cw", line, het},
+		{"sparse50-static", sparse50, simCfg(phy.RTSCTS, uniformCW(116, 50), 2e6, 8)},
+		{"dense20-static", dense20, simCfg(phy.RTSCTS, uniformCW(48, 20), 2e6, 9)},
+		{"mobile50", mobile50, mob(simCfg(phy.RTSCTS, uniformCW(64, 50), 2e6, 10), 1e5)},
+		{"mobile100-paper", mobile100, mob(simCfg(phy.RTSCTS, uniformCW(26, 100), 1e6, 11), 5e4)},
+		{"mobile50-fast-mobility", mobile50, mob(simCfg(phy.RTSCTS, uniformCW(32, 50), 5e5, 12), 1e3)},
+		{"churn-masked-20", churnMasked(mask20, 15), simCfg(phy.RTSCTS, uniformCW(40, 20), 2e6, 13)},
+		{"churn-masked-8", churnMasked(mask8, 16), simCfg(phy.Basic, []int{16, 32, 8, 64, 16, 128, 24, 48}, 2e6, 14)},
+		{"degenerate-w1", hiddenTriple, simCfg(phy.RTSCTS, uniformCW(1, 3), 1e6, 17)},
+		{"short-run", line, simCfg(phy.RTSCTS, uniformCW(64, 5), 200, 18)},
+	}
+}
+
+func TestDifferentialSimulateMatchesReference(t *testing.T) {
+	for _, tc := range diffCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			// Fresh topologies per engine: mobile networks are mutated.
+			want, err := SimulateReference(tc.topo(t), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Simulate(tc.topo(t), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("fast engine diverged from reference:\nfast: %+v\nref:  %+v", got, want)
+			}
+		})
+	}
+}
+
+// A mobile run must leave the *network itself* in an identical state under
+// both engines (same number of mobility steps, same waypoint stream), or
+// downstream stages of a repeated game would diverge.
+func TestDifferentialMobilityNetworkState(t *testing.T) {
+	cfg := simCfg(phy.RTSCTS, uniformCW(48, 30), 2e6, 19)
+	cfg.MobilityEvery = 7e4
+	ref := randomNetwork(t, 30, 250, 20)
+	if _, err := SimulateReference(ref, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fast := randomNetwork(t, 30, 250, 20)
+	if _, err := Simulate(fast, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fast.AdjacencyLists(), ref.AdjacencyLists()) {
+		t.Fatal("post-run adjacency diverged: mobility stepping differs between engines")
+	}
+}
+
+// Seed sweep over the hidden-terminal fixture: freeze/resume bookkeeping
+// bugs need particular overlap patterns to surface.
+func TestDifferentialSimulateSeedSweep(t *testing.T) {
+	grid := &fixedGraph{adj: [][]int{
+		{1, 3}, {0, 2, 4}, {1, 5},
+		{0, 4}, {1, 3, 5}, {2, 4},
+	}}
+	for seed := uint64(0); seed < 20; seed++ {
+		cfg := simCfg(phy.RTSCTS, []int{16, 32, 16, 64, 8, 32}, 1e6, seed)
+		want, err := SimulateReference(grid, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Simulate(grid, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: fast engine diverged from reference", seed)
+		}
+	}
+}
+
+// The engine stage loop (repeated game) must be unaffected: run a short
+// churn-enabled engine trace against one driven by the reference
+// simulator stage-for-stage. (The engine always calls Simulate; here we
+// re-derive each stage's result with SimulateReference and compare the
+// recorded rates.)
+func TestDifferentialEngineStagesWithChurn(t *testing.T) {
+	nw := randomNetwork(t, 12, 350, 21)
+	sim := simCfg(phy.RTSCTS, nil, 5e5, 22)
+	strat := make([]int, 12)
+	for i := range strat {
+		strat[i] = 16 + 8*i
+	}
+	strategies := make([]core.Strategy, len(strat))
+	for i, w := range strat {
+		strategies[i] = core.Constant{W: w}
+	}
+	eng, err := NewEngine(nw, strategies, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.WithChurn(ChurnConfig{Seed: 23, LeaveProb: 0.25, JoinProb: 0.5, MinActive: 3})
+	trace, err := eng.Run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := newChurnState(ChurnConfig{Seed: 23, LeaveProb: 0.25, JoinProb: 0.5, MinActive: 3}, 12)
+	for k, stage := range trace.Stages {
+		churn.step()
+		if !reflect.DeepEqual(stage.Active, churn.active) {
+			t.Fatalf("stage %d: churn mask diverged", k)
+		}
+		scfg := sim
+		scfg.CW = stage.Profile
+		scfg.Seed = sim.Seed + uint64(k)*0x9e3779b97f4a7c15
+		res, err := SimulateReference(&maskedTopology{base: nw, active: stage.Active}, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range stage.PayoffRates {
+			if stage.PayoffRates[i] != res.Nodes[i].PayoffRate {
+				t.Fatalf("stage %d node %d: engine rate %g != reference %g",
+					k, i, stage.PayoffRates[i], res.Nodes[i].PayoffRate)
+			}
+		}
+	}
+}
+
+func TestDifferentialCaseCount(t *testing.T) {
+	// The acceptance criterion asks for a matrix of >= 20 configs across
+	// the two simulators; keep the combined count honest.
+	const macsimConfigs = 18 // see internal/macsim/differential_test.go
+	if got := len(diffCases(t)) + macsimConfigs; got < 20 {
+		t.Fatalf("differential matrix shrank to %d configs, need >= 20", got)
+	}
+}

@@ -1,0 +1,219 @@
+package multihop
+
+import (
+	"fmt"
+
+	"selfishmac/internal/rng"
+)
+
+// fastsim.go is the event-skipping engine behind Simulate. The reference
+// loop steps every slot and touches every node per slot even when all of
+// them are mid-backoff; this engine tracks, per node, the absolute slot
+// at which it will next reach counter zero and act (its fire slot), and
+// jumps the clock directly to the minimum fire slot — the next event
+// horizon over counter expiries, busyUntil/txUntil freezes and pending
+// mobility steps. Idle slots are never visited.
+//
+// Freeze/resume accounting is carried in the fire slots themselves. With
+// "blocked" meaning max(busyUntil, txUntil) > t:
+//
+//   - A node counting at slot t (not blocked) that a new transmission
+//     covers until slot `until` freezes for slots t+1 .. until-1; having
+//     already decremented at t, its fire slot shifts by until-t-1.
+//   - A node already blocked until bOld that the new transmission extends
+//     to until > bOld freezes for until-bOld more slots; its fire slot
+//     shifts by until-bOld. (No shift when until <= bOld.)
+//   - A transmitter redraws counter c at slot t and resumes counting at
+//     b = max(txUntil, busyUntil) as known at the end of the slot — its
+//     co-transmitters' carrier updates included — so it fires at b + c.
+//   - An isolated node (empty adjacency) redraws c at its fire slot t and
+//     resumes at t+1, so it fires at t+1+c; carrier freezes from later
+//     transmitters in the same slot then shift it like any counting node.
+//
+// Mobility steps are applied in catch-up fashion before processing any
+// event at or past their due slot, preserving both the step count and
+// their order relative to MAC events — the network's own PRNG trajectory
+// and final state are identical to the reference.
+//
+// Determinism contract: PRNG draws happen in exactly the reference order
+// — per event slot, expired nodes act in ascending node order (isolated
+// redraw or receiver pick), then transmitters redraw in ascending order —
+// so Simulate and SimulateReference produce byte-identical SimResults.
+func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult, error) {
+	n := nw.N()
+	src := rng.New(cfg.Seed)
+	nodes := make([]spatialNode, n)
+	fire := make([]int64, n) // absolute slot at which the node next acts
+	for i := range nodes {
+		nodes[i] = spatialNode{cw: cfg.CW[i]}
+		nodes[i].draw(src, cfg.MaxStage)
+		fire[i] = int64(nodes[i].counter)
+	}
+	adj := nw.AdjacencyLists()
+
+	res := &SimResult{Nodes: make([]NodeStats, n)}
+	tsSlots := int64(cfg.Timing.SlotsCeil(cfg.Timing.Ts))
+	tcSlots := int64(cfg.Timing.SlotsCeil(cfg.Timing.Tc))
+	totalSlots := int64(cfg.Duration / cfg.Timing.Slot)
+	if totalSlots < 1 {
+		totalSlots = 1
+	}
+	var nextMobility int64 = -1
+	var mobilityEverySlots int64
+	if cfg.MobilityEvery > 0 {
+		mobilityEverySlots = int64(cfg.MobilityEvery / cfg.Timing.Slot)
+		if mobilityEverySlots < 1 {
+			mobilityEverySlots = 1
+		}
+		nextMobility = mobilityEverySlots
+	}
+
+	transmitters := make([]int, 0, n)
+	receivers := make([]int, n)
+	inTx := make([]bool, n)
+	drawn := make([]int, n) // transmitter's fresh counter, for fire recompute
+	var totalAttempts, totalHidden int64
+
+	for {
+		// Jump to the next event horizon: the minimum fire slot.
+		t := fire[0]
+		for i := 1; i < n; i++ {
+			if fire[i] < t {
+				t = fire[i]
+			}
+		}
+		if t >= totalSlots {
+			// No further MAC event inside the run; apply the mobility
+			// steps the reference loop would still have performed.
+			for nextMobility > 0 && nextMobility < totalSlots {
+				if err := mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
+					return nil, fmt.Errorf("multihop: mobility step: %w", err)
+				}
+				adj = mobile.AdjacencyLists()
+				nextMobility += mobilityEverySlots
+			}
+			break
+		}
+		// Mobility catch-up: one step per due point, all before phase 1
+		// of this slot — exactly when the reference would have stepped.
+		for nextMobility > 0 && t >= nextMobility {
+			if err := mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
+				return nil, fmt.Errorf("multihop: mobility step: %w", err)
+			}
+			adj = mobile.AdjacencyLists()
+			nextMobility += mobilityEverySlots
+		}
+
+		// Phase 1: expired nodes act in ascending node order.
+		transmitters = transmitters[:0]
+		for i := 0; i < n; i++ {
+			if fire[i] != t {
+				continue
+			}
+			if len(adj[i]) == 0 {
+				// Isolated node: redraw and stay in backoff. It resumes
+				// counting at t+1 (it cannot be blocked here, or it
+				// would not have fired).
+				nodes[i].draw(src, cfg.MaxStage)
+				fire[i] = t + 1 + int64(nodes[i].counter)
+				continue
+			}
+			transmitters = append(transmitters, i)
+			receivers[i] = adj[i][src.Intn(len(adj[i]))]
+		}
+		if len(transmitters) == 0 {
+			continue
+		}
+
+		for _, i := range transmitters {
+			inTx[i] = true
+		}
+
+		// Phase 2: resolve outcomes at the receivers (identical to the
+		// reference), threading freeze shifts into neighbors' fire slots.
+		for _, i := range transmitters {
+			r := receivers[i]
+			st := &res.Nodes[i]
+			st.Attempts++
+			totalAttempts++
+
+			ok := true
+			hidden := false
+			if inTx[r] || nodes[r].busyUntil > t || nodes[r].txUntil > t {
+				// Receiver deaf: transmitting itself or in a busy locale.
+				ok = false
+			}
+			if ok {
+				for _, j := range adj[r] {
+					if j == i || !inTx[j] {
+						continue
+					}
+					ok = false
+					if !nw.IsLink(i, j) {
+						hidden = true // the interferer was invisible to i
+					}
+				}
+			}
+			dur := tcSlots
+			if ok {
+				st.Successes++
+				nodes[i].stage = 0
+				dur = tsSlots
+			} else {
+				st.Collisions++
+				if hidden {
+					st.HiddenCollisions++
+					totalHidden++
+				}
+				if nodes[i].stage < cfg.MaxStage {
+					nodes[i].stage++
+				}
+			}
+			nodes[i].txUntil = t + dur
+			nodes[i].draw(src, cfg.MaxStage)
+			drawn[i] = nodes[i].counter
+			// Carrier sensing: everyone in range of the transmitter
+			// holds; shift non-transmitters' fire slots by the slots the
+			// new hold freezes on top of what already blocked them.
+			until := t + dur
+			for _, k := range adj[i] {
+				nd := &nodes[k]
+				if !inTx[k] {
+					bOld := nd.busyUntil
+					if nd.txUntil > bOld {
+						bOld = nd.txUntil
+					}
+					if bOld <= t {
+						fire[k] += until - t - 1
+					} else if until > bOld {
+						fire[k] += until - bOld
+					}
+				}
+				if nd.busyUntil < until {
+					nd.busyUntil = until
+				}
+			}
+		}
+		// Transmitters resume counting once their own transmission and
+		// every carrier hold known by the end of the slot are over.
+		for _, i := range transmitters {
+			b := nodes[i].busyUntil
+			if nodes[i].txUntil > b {
+				b = nodes[i].txUntil
+			}
+			fire[i] = b + int64(drawn[i])
+			inTx[i] = false
+		}
+	}
+
+	res.Slots = totalSlots
+	res.Time = float64(totalSlots) * cfg.Timing.Slot
+	for i := range res.Nodes {
+		st := &res.Nodes[i]
+		st.PayoffRate = (float64(st.Successes)*cfg.Gain - float64(st.Attempts)*cfg.Cost) / res.Time
+	}
+	if totalAttempts > 0 {
+		res.HiddenFraction = float64(totalHidden) / float64(totalAttempts)
+	}
+	return res, nil
+}

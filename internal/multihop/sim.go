@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"selfishmac/internal/backoff"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/rng"
 )
@@ -155,15 +156,44 @@ type spatialNode struct {
 	txUntil   int64 // first slot at which this node's own tx is done
 }
 
+// draw sets a fresh uniform backoff counter. The shared helper caps the
+// window at cw << maxStage — previously this defensive cap existed only
+// in macsim; the stage is capped on advance, so behavior is unchanged,
+// but the invariant now holds for any state.
 func (n *spatialNode) draw(r *rng.Source, maxStage int) {
-	n.counter = r.Intn(n.cw << n.stage)
+	n.counter = backoff.Draw(r, n.cw, n.stage, maxStage)
 }
 
 // Simulate runs the spatial DCF over the network's *current* topology
 // snapshot (advancing mobility every MobilityEvery microseconds when
 // configured; the network is mutated in that case and must implement
 // MobileTopology).
+//
+// It uses the event-skipping engine (fastsim.go), which jumps the slot
+// clock directly to the next fire slot instead of stepping idle slots.
+// Results, PRNG consumption and mobility stepping are bit-identical to
+// SimulateReference; the differential tests pin this.
 func Simulate(nw Topology, cfg SimConfig) (*SimResult, error) {
+	n := nw.N()
+	if err := cfg.validate(n); err != nil {
+		return nil, fmt.Errorf("multihop: invalid sim config: %w", err)
+	}
+	var mobile MobileTopology
+	if cfg.MobilityEvery > 0 {
+		var ok bool
+		if mobile, ok = nw.(MobileTopology); !ok {
+			return nil, errors.New("multihop: MobilityEvery set but the topology is immobile")
+		}
+	}
+	return simulateFast(nw, mobile, cfg)
+}
+
+// SimulateReference runs the spatial DCF with the original slot-by-slot
+// loop, advancing time one slot at a time. It is kept verbatim as the
+// pinned semantics of the simulator: the differential tests assert
+// Simulate produces byte-identical results, and cmd/bench measures the
+// speedup against it.
+func SimulateReference(nw Topology, cfg SimConfig) (*SimResult, error) {
 	n := nw.N()
 	if err := cfg.validate(n); err != nil {
 		return nil, fmt.Errorf("multihop: invalid sim config: %w", err)

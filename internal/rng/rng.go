@@ -28,16 +28,23 @@ type Source struct {
 // the xoshiro authors. Distinct seeds produce decorrelated streams.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed reinitialises r in place from seed, exactly as New would. It
+// performs no allocation, which lets hot paths (the simulator engines)
+// embed a Source by value and reset it between runs.
+func (r *Source) Reseed(seed uint64) {
 	sm := seed
-	for i := range src.s {
-		sm, src.s[i] = splitmix64(sm)
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
 	}
 	// All-zero state is invalid; splitmix64 cannot produce four zero
 	// outputs in a row, but guard against it for defence in depth.
-	if src.s == [4]uint64{} {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if r.s == [4]uint64{} {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 // NewFromState restores a Source from a state previously returned by State.

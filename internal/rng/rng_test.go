@@ -15,6 +15,26 @@ func TestNewDeterministic(t *testing.T) {
 	}
 }
 
+func TestReseedMatchesNew(t *testing.T) {
+	var s Source
+	for _, seed := range []uint64{0, 1, 42, ^uint64(0)} {
+		s.Reseed(seed)
+		fresh := New(seed)
+		for i := 0; i < 100; i++ {
+			if got, want := s.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("seed %d draw %d: Reseed diverged from New: %d != %d", seed, i, got, want)
+			}
+		}
+	}
+	// Reseeding a used source fully resets it.
+	s.Reseed(7)
+	s.Uint64()
+	s.Reseed(7)
+	if got, want := s.Uint64(), New(7).Uint64(); got != want {
+		t.Fatalf("Reseed of a used source did not reset: %d != %d", got, want)
+	}
+}
+
 func TestDistinctSeedsDiverge(t *testing.T) {
 	a, b := New(1), New(2)
 	same := 0
