@@ -3,7 +3,7 @@
 # How long `test-fuzz` spends per fuzz target.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-diff test-fuzz test-race cover bench bench-quick bench-json experiments experiments-quick fmt
+.PHONY: all build vet test test-diff test-fuzz test-race cover bench bench-quick bench-json bench-replicate experiments experiments-quick fmt
 
 all: build test test-race
 
@@ -23,10 +23,12 @@ test: vet
 
 # Differential equivalence: the event-skipping engines must reproduce
 # the reference loops bit for bit across the whole config matrix
-# (heterogeneous CW, per-node frame times, mobility, churn). Already
-# part of `go test ./...`; this target runs just the matrix, verbosely.
+# (heterogeneous CW, per-node frame times, mobility, churn), and the
+# replication layer must reproduce hand-written serial loops moment for
+# moment at every worker count. Already part of `go test ./...`; this
+# target runs just the matrix, verbosely.
 test-diff:
-	go test -run='^TestDifferential' -v ./internal/macsim ./internal/multihop
+	go test -run='^TestDifferential' -v ./internal/macsim ./internal/multihop ./internal/replicate
 
 # `go test -fuzz` takes one target per invocation, so run them one by one.
 test-fuzz:
@@ -58,6 +60,14 @@ bench-quick:
 # that touches a simulator hot loop.
 bench-json:
 	go run ./cmd/bench -out BENCH_sim.json
+
+# Regenerate BENCH_replicate.json, the replication-layer trajectory:
+# fresh vs reused engine allocs/op, fixed-R wall-clock at 1/2/4/8
+# workers (speedup is bounded by GOMAXPROCS — the file records it), and
+# adaptive-vs-fixed replication counts. Commit the refreshed file with
+# any PR that touches internal/replicate or the engine lifecycles.
+bench-replicate:
+	go run ./cmd/bench -replicate -out BENCH_replicate.json
 
 # Regenerate every paper table/figure into results/ (paper-faithful scale).
 experiments:

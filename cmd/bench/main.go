@@ -238,12 +238,20 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shrink simulated durations (smoke profile)")
 	benchtime := fs.String("benchtime", "1s", "per-benchmark time or iteration count (forwarded to the testing package, e.g. 200ms or 3x)")
 	only := fs.String("only", "", "run only scenarios whose name contains this substring")
+	repl := fs.Bool("replicate", false, "benchmark the replication layer instead of the engine suite (writes BENCH_replicate.json unless -out is set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	testing.Init()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		return fmt.Errorf("invalid -benchtime: %w", err)
+	}
+	if *repl {
+		target := *out
+		if target == "BENCH_sim.json" {
+			target = "BENCH_replicate.json"
+		}
+		return runReplicate(target, *quick)
 	}
 
 	suite, err := scenarios(*quick)

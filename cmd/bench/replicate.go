@@ -1,0 +1,330 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"selfishmac/internal/macsim"
+	"selfishmac/internal/multihop"
+	"selfishmac/internal/phy"
+	"selfishmac/internal/replicate"
+	"selfishmac/internal/topology"
+)
+
+// replicate.go measures the replication layer (internal/replicate) and
+// the reusable engine lifecycles behind it, writing BENCH_replicate.json:
+//
+//   - engine_allocs: allocs/op and bytes/op of a fresh one-shot run
+//     (macsim.Run, multihop.Simulate) vs the reusable Reset+Run
+//     lifecycle (macsim.Engine, multihop.Simulator) on the same
+//     workload — the steady state must be 0 allocs/op.
+//   - worker_scaling: wall-clock of one fixed-R replicated measurement
+//     at 1/2/4/8 workers. Speedups are hardware-bound: on a single-CPU
+//     host (GOMAXPROCS=1) all worker counts serialize and the honest
+//     ratio is ~1x; the gomaxprocs field records what the numbers mean.
+//   - adaptive: replications spent by the adaptive CI-targeted schedule
+//     vs the fixed worst-case R across a CW sweep, with the CI each
+//     point reached.
+
+// AllocResult compares the fresh and reused lifecycle of one engine.
+type AllocResult struct {
+	Name           string  `json:"name"`
+	FreshAllocsOp  int64   `json:"fresh_allocs_per_op"`
+	FreshBytesOp   int64   `json:"fresh_bytes_per_op"`
+	FreshNsOp      float64 `json:"fresh_ns_per_op"`
+	ReusedAllocsOp int64   `json:"reused_allocs_per_op"`
+	ReusedBytesOp  int64   `json:"reused_bytes_per_op"`
+	ReusedNsOp     float64 `json:"reused_ns_per_op"`
+}
+
+// ScalingResult is one worker count's wall-clock for the fixed workload.
+type ScalingResult struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_1"`
+}
+
+// AdaptivePoint is one CW operating point of the adaptive-vs-fixed sweep.
+type AdaptivePoint struct {
+	W            int     `json:"w"`
+	AdaptiveReps int     `json:"adaptive_reps"`
+	AdaptiveCI   float64 `json:"adaptive_rel_ci95"`
+	FixedReps    int     `json:"fixed_reps"`
+	FixedCI      float64 `json:"fixed_rel_ci95"`
+}
+
+// AdaptiveResult aggregates the sweep.
+type AdaptiveResult struct {
+	RelCITarget   float64         `json:"rel_ci_target"`
+	MinReps       int             `json:"min_reps"`
+	MaxReps       int             `json:"max_reps"`
+	Points        []AdaptivePoint `json:"points"`
+	AdaptiveTotal int             `json:"adaptive_total_reps"`
+	FixedTotal    int             `json:"fixed_total_reps"`
+	RepsSaved     int             `json:"reps_saved"`
+}
+
+// ReplicateFile is the BENCH_replicate.json schema.
+type ReplicateFile struct {
+	Generated     string          `json:"generated"`
+	GoVersion     string          `json:"go"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	Profile       string          `json:"profile"`
+	Note          string          `json:"note"`
+	EngineAllocs  []AllocResult   `json:"engine_allocs"`
+	WorkerScaling []ScalingResult `json:"worker_scaling"`
+	Adaptive      AdaptiveResult  `json:"adaptive"`
+}
+
+func benchAllocs(fn func() error) (allocs, bytes int64, ns float64, err error) {
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if e := fn(); e != nil {
+				benchErr = e
+				b.Fatal(e)
+			}
+		}
+	})
+	if benchErr != nil {
+		return 0, 0, 0, benchErr
+	}
+	return r.AllocsPerOp(), r.AllocedBytesPerOp(), float64(r.NsPerOp()), nil
+}
+
+// replicateWorkload is the shared spatial scenario: the sparse 50-node
+// acceptance network at the RTS/CTS NE window.
+func replicateWorkload(dur float64) (*topology.Network, multihop.SimConfig, error) {
+	nw, err := topology.New(topology.Config{N: 50, Width: 1000, Height: 1000, Range: 180, Seed: 11})
+	if err != nil {
+		return nil, multihop.SimConfig{}, err
+	}
+	cfg := multihop.DefaultSimConfig(dur, 7)
+	cfg.CW = uniformCW(116, 50)
+	return nw, cfg, nil
+}
+
+func measureEngineAllocs(shDur, mhDur float64) ([]AllocResult, error) {
+	var out []AllocResult
+
+	// macsim: one-shot Run vs Engine Reset+Run.
+	mcfg := macsim.Config{
+		Timing:   phy.Default().MustTiming(phy.Basic),
+		MaxStage: phy.Default().MaxBackoffStage,
+		CW:       uniformCW(336, 20),
+		Duration: shDur,
+		Seed:     1,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	res := AllocResult{Name: "macsim/basic-n20-w336"}
+	var err error
+	if res.FreshAllocsOp, res.FreshBytesOp, res.FreshNsOp, err = benchAllocs(func() error {
+		_, err := macsim.Run(mcfg)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	eng, err := macsim.NewEngine(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	seed := uint64(0)
+	if res.ReusedAllocsOp, res.ReusedBytesOp, res.ReusedNsOp, err = benchAllocs(func() error {
+		seed++
+		eng.Reset(seed)
+		eng.Run()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out = append(out, res)
+
+	// multihop: one-shot Simulate vs Simulator Reset+Run.
+	nw, scfg, err := replicateWorkload(mhDur)
+	if err != nil {
+		return nil, err
+	}
+	res = AllocResult{Name: "multihop/sparse-n50-w116"}
+	if res.FreshAllocsOp, res.FreshBytesOp, res.FreshNsOp, err = benchAllocs(func() error {
+		_, err := multihop.Simulate(nw, scfg)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	sim, err := multihop.NewSimulator(nw, scfg)
+	if err != nil {
+		return nil, err
+	}
+	if res.ReusedAllocsOp, res.ReusedBytesOp, res.ReusedNsOp, err = benchAllocs(func() error {
+		seed++
+		sim.Reset(seed)
+		_, err := sim.Run()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	out = append(out, res)
+	return out, nil
+}
+
+func measureWorkerScaling(mhDur float64, reps int) ([]ScalingResult, error) {
+	nw, cfg, err := replicateWorkload(mhDur)
+	if err != nil {
+		return nil, err
+	}
+	factory := func() (replicate.Replicator, error) {
+		sim, err := multihop.NewSimulator(nw, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return globalRateReplicator{sim}, nil
+	}
+	var out []ScalingResult
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		plan := replicate.FixedPlan(3, "bench.scaling", 1, reps, workers)
+		// Warm once (engine construction, page faults), then time.
+		if _, err := replicate.Run(plan, factory); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := replicate.Run(plan, factory); err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		sr := ScalingResult{Workers: workers, Seconds: secs}
+		if workers == 1 {
+			base = secs
+		}
+		if secs > 0 {
+			sr.Speedup = base / secs
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+type globalRateReplicator struct{ sim *multihop.Simulator }
+
+func (r globalRateReplicator) Replicate(seed uint64, out []float64) error {
+	r.sim.Reset(seed)
+	res, err := r.sim.Run()
+	if err != nil {
+		return err
+	}
+	out[0] = res.GlobalPayoffRate()
+	return nil
+}
+
+func measureAdaptive(mhDur float64, minReps, maxReps int, relCI float64) (AdaptiveResult, error) {
+	nw, cfg, err := replicateWorkload(mhDur)
+	if err != nil {
+		return AdaptiveResult{}, err
+	}
+	res := AdaptiveResult{RelCITarget: relCI, MinReps: minReps, MaxReps: maxReps}
+	for _, w := range []int{58, 116, 232} {
+		sim := cfg
+		sim.CW = uniformCW(w, 50)
+		factory := func() (replicate.Replicator, error) {
+			s, err := multihop.NewSimulator(nw, sim)
+			if err != nil {
+				return nil, err
+			}
+			return globalRateReplicator{s}, nil
+		}
+		stream := fmt.Sprintf("bench.adaptive.w%d", w)
+		adaptive, err := replicate.Run(replicate.Plan{
+			BaseSeed: 5, Stream: stream, Metrics: 1,
+			RelTolerance: relCI, MinReps: minReps, MaxReps: maxReps,
+		}, factory)
+		if err != nil {
+			return AdaptiveResult{}, err
+		}
+		fixed, err := replicate.Run(replicate.FixedPlan(5, stream, 1, maxReps, 0), factory)
+		if err != nil {
+			return AdaptiveResult{}, err
+		}
+		relOf := func(r *replicate.Result) float64 {
+			if m := r.Mean(0); m != 0 {
+				return r.CI95(0) / m
+			}
+			return 0
+		}
+		res.Points = append(res.Points, AdaptivePoint{
+			W:            w,
+			AdaptiveReps: adaptive.Reps,
+			AdaptiveCI:   relOf(adaptive),
+			FixedReps:    fixed.Reps,
+			FixedCI:      relOf(fixed),
+		})
+		res.AdaptiveTotal += adaptive.Reps
+		res.FixedTotal += fixed.Reps
+	}
+	res.RepsSaved = res.FixedTotal - res.AdaptiveTotal
+	return res, nil
+}
+
+// runReplicate drives the -replicate mode.
+func runReplicate(out string, quick bool) error {
+	shDur, mhDur := 20e6, 10e6
+	minReps, maxReps := 4, 24
+	scalingReps := 16
+	relCI := 0.05
+	if quick {
+		shDur, mhDur = 1e6, 5e5
+		minReps, maxReps = 2, 6
+		scalingReps = 4
+	}
+	profile := "paper"
+	if quick {
+		profile = "quick"
+	}
+	file := ReplicateFile{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Profile:    profile,
+		Note: "Replication-layer benchmarks: engine_allocs compares fresh one-shot runs vs the " +
+			"reusable Reset+Run lifecycle (steady state must be 0 allocs/op); worker_scaling is " +
+			"wall-clock of one fixed-R measurement at 1/2/4/8 workers (parallel speedup is " +
+			"bounded by gomaxprocs — on a 1-CPU host all counts honestly measure ~1x); adaptive " +
+			"counts replications spent by the CI-targeted schedule vs fixed worst-case R. " +
+			"Regenerate with `make bench-replicate`.",
+	}
+	var err error
+	if file.EngineAllocs, err = measureEngineAllocs(shDur, mhDur); err != nil {
+		return err
+	}
+	for _, a := range file.EngineAllocs {
+		fmt.Printf("%-28s fresh %5d allocs/op %9d B/op | reused %3d allocs/op %6d B/op\n",
+			a.Name, a.FreshAllocsOp, a.FreshBytesOp, a.ReusedAllocsOp, a.ReusedBytesOp)
+	}
+	if file.WorkerScaling, err = measureWorkerScaling(mhDur, scalingReps); err != nil {
+		return err
+	}
+	for _, sr := range file.WorkerScaling {
+		fmt.Printf("workers=%d %8.3fs speedup %.2fx\n", sr.Workers, sr.Seconds, sr.Speedup)
+	}
+	if file.Adaptive, err = measureAdaptive(mhDur, minReps, maxReps, relCI); err != nil {
+		return err
+	}
+	fmt.Printf("adaptive: %d reps vs fixed %d (saved %d)\n",
+		file.Adaptive.AdaptiveTotal, file.Adaptive.FixedTotal, file.Adaptive.RepsSaved)
+
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"selfishmac/internal/bianchi"
+	"selfishmac/internal/core"
+	"selfishmac/internal/phy"
+)
+
+// TestGridSweepHitsSolverCache pins the hoisting of game construction out
+// of the per-grid-point loops: a payoff-curve sweep over one shared game
+// must be answered entirely from the shared Bianchi solver cache on its
+// second pass. A regression that rebuilds games (and thus re-solves) per
+// grid point shows up as fresh cache misses here.
+//
+// The test reads the shared cache counters, so it must not run while
+// another test in this package is solving concurrently — it stays
+// non-parallel (sequential tests finish before t.Parallel ones resume).
+func TestGridSweepHitsSolverCache(t *testing.T) {
+	g, err := core.NewGame(core.DefaultConfig(20, phy.Basic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm pass: populate the cache for every grid point.
+	if _, _, err := payoffCurve(g, 512, 40, 2); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore, missesBefore := bianchi.CacheStats()
+	// Second pass over the same grid: all lookups, no new solves.
+	if _, _, err := payoffCurve(g, 512, 40, 2); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := bianchi.CacheStats()
+	if misses != missesBefore {
+		t.Fatalf("repeated grid sweep re-solved %d points; want every point served from the solver cache",
+			misses-missesBefore)
+	}
+	if hits <= hitsBefore {
+		t.Fatalf("repeated grid sweep recorded no cache hits (hits %d -> %d)", hitsBefore, hits)
+	}
+}

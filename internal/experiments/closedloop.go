@@ -10,6 +10,7 @@ import (
 	"selfishmac/internal/macsim"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/plot"
+	"selfishmac/internal/replicate"
 	"selfishmac/internal/rng"
 )
 
@@ -44,9 +45,10 @@ func ClosedLoop(s Settings) (*Report, error) {
 
 	tb := plot.Table{
 		Title:   fmt.Sprintf("Closed loop: strategies on estimated observations (n=%d, start Wc*=%d, 25 stages)", n, ne.WStar),
-		Headers: []string{"strategy", "stage window (s)", "final min CW", "held NE"},
+		Headers: []string{"strategy", "stage window (s)", "final min CW", "ci95", "reps", "held NE"},
 	}
 	rep := &Report{ID: "D2", Title: "Closed-loop TFT on estimated CWs"}
+	minReps, maxReps, relCI := s.replicateBounds()
 
 	for _, tc := range []struct {
 		name   string
@@ -58,23 +60,46 @@ func ClosedLoop(s Settings) (*Report, error) {
 		{"tft", func() core.Strategy { return core.TFT{Initial: ne.WStar} }, 10, "tft_10s"},
 		{"gtft(r0=5,b=0.8)", func() core.Strategy { return core.GTFT{Initial: ne.WStar, R0: 5, Beta: 0.8} }, 10, "gtft_10s"},
 	} {
-		strats := make([]core.Strategy, n)
-		for i := range strats {
-			strats[i] = tc.mk()
-		}
-		final, err := runClosedLoop(g, strats, tc.window*1e6, 25, rng.DeriveSeed(s.Seed, "D2."+tc.metric, 0))
+		// Each case is a replicated measurement: independent 25-stage
+		// closed-loop runs on derived seeds (replication 0 reuses the
+		// stream of the previous single-run implementation), reported as
+		// the mean final minimum CW with its CI95 half-width.
+		rres, err := replicate.RunFunc(replicate.Plan{
+			BaseSeed:     s.Seed,
+			Stream:       "D2." + tc.metric,
+			Metrics:      1,
+			RelTolerance: relCI,
+			MinReps:      minReps,
+			MaxReps:      maxReps,
+			Workers:      s.workerCount(),
+		}, func(seed uint64, out []float64) error {
+			strats := make([]core.Strategy, n)
+			for i := range strats {
+				strats[i] = tc.mk()
+			}
+			final, err := runClosedLoop(g, strats, tc.window*1e6, 25, seed)
+			if err != nil {
+				return err
+			}
+			minW := final[0]
+			for _, w := range final {
+				if w < minW {
+					minW = w
+				}
+			}
+			out[0] = float64(minW)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		minW := final[0]
-		for _, w := range final {
-			if w < minW {
-				minW = w
-			}
-		}
-		held := minW >= ne.WStar*9/10
-		tb.MustAddRow(tc.name, fmt.Sprintf("%.0f", tc.window), fmt.Sprintf("%d", minW), fmt.Sprintf("%v", held))
-		rep.Metric(tc.metric+"_final_min_cw", float64(minW))
+		meanMin := rres.Mean(0)
+		held := meanMin >= float64(ne.WStar)*0.9
+		tb.MustAddRow(tc.name, fmt.Sprintf("%.0f", tc.window), fmt.Sprintf("%.1f", meanMin),
+			fmt.Sprintf("%.2f", rres.CI95(0)), fmt.Sprintf("%d", rres.Reps), fmt.Sprintf("%v", held))
+		rep.Metric(tc.metric+"_final_min_cw", meanMin)
+		rep.Metric(tc.metric+"_ci95", rres.CI95(0))
+		rep.Metric(tc.metric+"_reps", float64(rres.Reps))
 	}
 	var text strings.Builder
 	text.WriteString(tb.Render())
@@ -179,6 +204,12 @@ func maxIntHelper(a, b int) int {
 
 // runClosedLoop plays stages where observations are CW *estimates* from
 // simulated promiscuous counts. It returns the final CW profile.
+//
+// One reusable macsim.Engine carries the whole run: stages change only
+// the CW profile and seed, so after the first stage every Reconfigure
+// reuses the engine's buffers instead of paying macsim.Run's full setup.
+// Stage results are bit-identical to fresh Run calls (the macsim
+// differential tests pin the Engine lifecycle).
 func runClosedLoop(g *core.Game, strategies []core.Strategy, stageTime float64, stages int, seed uint64) ([]int, error) {
 	n := len(strategies)
 	p := g.Config().PHY
@@ -189,6 +220,7 @@ func runClosedLoop(g *core.Game, strategies []core.Strategy, stageTime float64, 
 	observedBy := make([][][]int, n)
 	utilitiesOf := make([][]float64, n)
 	profile := make([]int, n)
+	var eng *macsim.Engine
 	for k := 0; k < stages; k++ {
 		for i, s := range strategies {
 			w := s.ChooseCW(i, observedBy[i], utilitiesOf[i])
@@ -197,18 +229,24 @@ func runClosedLoop(g *core.Game, strategies []core.Strategy, stageTime float64, 
 			}
 			profile[i] = w
 		}
-		res, err := macsim.Run(macsim.Config{
+		cfg := macsim.Config{
 			Timing:   tm,
 			MaxStage: p.MaxBackoffStage,
-			CW:       append([]int(nil), profile...),
+			CW:       profile, // the engine clones its config slices
 			Duration: stageTime,
 			Seed:     rng.DeriveSeed(seed, "closedloop.stage", k),
 			Gain:     g.Config().Gain,
 			Cost:     g.Config().Cost,
-		})
+		}
+		if eng == nil {
+			eng, err = macsim.NewEngine(cfg)
+		} else {
+			err = eng.Reconfigure(cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
+		res := eng.Run()
 		ests, err := detect.EstimateAll(detect.FromSimResult(res), p.MaxBackoffStage)
 		if err != nil {
 			// A stage can be too short for any estimate (a node that

@@ -90,6 +90,18 @@ type Settings struct {
 	// default) means GOMAXPROCS. Results are bit-identical at every
 	// worker count, including 1 (fully serial).
 	Workers int
+	// ReplicateMin and ReplicateMax bound the replication schedule of
+	// every simulation-backed experiment point (internal/replicate):
+	// each point runs at least ReplicateMin independent seeds and — when
+	// ReplicateRelCI is set and ReplicateMax allows — keeps replicating
+	// in deterministic rounds until the CI95 half-width of its headline
+	// metric drops below ReplicateRelCI of the mean. Zero values fall
+	// back to one replication, preserving older hand-built Settings.
+	ReplicateMin int
+	ReplicateMax int
+	// ReplicateRelCI is the relative CI95 target for adaptive stopping.
+	// Zero disables adaptive stopping (every point runs ReplicateMin).
+	ReplicateRelCI float64
 }
 
 // workerCount resolves the Workers setting (0 → GOMAXPROCS) for the
@@ -99,6 +111,19 @@ func (s Settings) workerCount() int {
 		return s.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// replicateBounds resolves the replication schedule, clamping unset
+// fields to the single-run schedule older hand-built Settings expect.
+func (s Settings) replicateBounds() (minReps, maxReps int, relCI float64) {
+	minReps, maxReps, relCI = s.ReplicateMin, s.ReplicateMax, s.ReplicateRelCI
+	if minReps < 1 {
+		minReps = 1
+	}
+	if maxReps < minReps {
+		maxReps = minReps
+	}
+	return minReps, maxReps, relCI
 }
 
 // DefaultSettings reproduces the paper's scales (1000 s single-hop
@@ -111,6 +136,9 @@ func DefaultSettings() Settings {
 		MultihopNodes:    100,
 		FigurePoints:     60,
 		Seed:             1,
+		ReplicateMin:     3,
+		ReplicateMax:     8,
+		ReplicateRelCI:   0.02,
 	}
 }
 
@@ -123,6 +151,9 @@ func QuickSettings() Settings {
 		MultihopNodes:    40,
 		FigurePoints:     25,
 		Seed:             1,
+		ReplicateMin:     2,
+		ReplicateMax:     3,
+		ReplicateRelCI:   0.1,
 	}
 }
 
@@ -139,6 +170,10 @@ func (s Settings) Validate() error {
 	}
 	if s.FigurePoints < 5 {
 		return fmt.Errorf("experiments: %d figure points < 5", s.FigurePoints)
+	}
+	if s.ReplicateMin < 0 || s.ReplicateMax < 0 || s.ReplicateRelCI < 0 {
+		return fmt.Errorf("experiments: negative replication settings %d/%d/%g",
+			s.ReplicateMin, s.ReplicateMax, s.ReplicateRelCI)
 	}
 	return nil
 }

@@ -10,7 +10,7 @@ import (
 	"selfishmac/internal/macsim"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/plot"
-	"selfishmac/internal/rng"
+	"selfishmac/internal/replicate"
 	"selfishmac/internal/stats"
 )
 
@@ -44,18 +44,27 @@ func figure(id, title string, mode phy.AccessMode, s Settings) (*Report, error) 
 	}
 	rep := &Report{ID: id, Title: title}
 	workers := s.workerCount()
+	// Hoist game construction (and the Bianchi model each game owns) out
+	// of the fan-out: the per-grid-point work below is pure solver-cache
+	// lookups on these shared games.
+	games := make([]*core.Game, len(tablePopulations))
+	nes := make([]core.NE, len(tablePopulations))
+	for k, n := range tablePopulations {
+		g, err := core.NewGame(core.DefaultConfig(n, mode))
+		if err != nil {
+			return nil, err
+		}
+		ne, err := g.FindPaperNE()
+		if err != nil {
+			return nil, err
+		}
+		games[k], nes[k] = g, ne
+	}
 	series := make([]figureSeries, len(tablePopulations))
 	err := forEachIndex(len(tablePopulations), workers, func(k int) error {
 		n := tablePopulations[k]
 		out := &series[k]
-		g, err := core.NewGame(core.DefaultConfig(n, mode))
-		if err != nil {
-			return err
-		}
-		ne, err := g.FindPaperNE()
-		if err != nil {
-			return err
-		}
+		g, ne := games[k], nes[k]
 		// Log-spaced CW grid covering the peak comfortably.
 		wMax := ne.WStar * 8
 		if wMax < 64 {
@@ -109,18 +118,32 @@ func figure(id, title string, mode phy.AccessMode, s Settings) (*Report, error) 
 	}
 	// Overlay a simulated U/C series for n = 20: the event-driven
 	// simulator independently traces the same curve, validating the
-	// analytic figure end to end. U/C = (global payoff rate)·σ/g.
-	simXs, simYs, maxRel, err := simulatedCurve(id, mode, 20, s)
+	// analytic figure end to end. U/C = (global payoff rate)·σ/g. Each
+	// operating point is a replicated measurement (internal/replicate)
+	// with its CI95 half-width and replication count in the artifact.
+	simIdx := -1
+	for k, n := range tablePopulations {
+		if n == 20 {
+			simIdx = k
+		}
+	}
+	if simIdx < 0 {
+		return nil, fmt.Errorf("%s: simulated overlay: population 20 missing", id)
+	}
+	sim, err := simulatedCurve(id, mode, games[simIdx], 20, s)
 	if err != nil {
 		return nil, err
 	}
-	if len(simXs) == 0 {
+	if len(sim.xs) == 0 {
 		return nil, fmt.Errorf("%s: simulated overlay: %w", id, errEmptySeries)
 	}
-	chart.Add("n=20 simulated", simXs, simYs)
-	rep.Metric("n20_sim_vs_analytic_maxrel", maxRel)
+	chart.Add("n=20 simulated", sim.xs, sim.ys)
+	rep.Metric("n20_sim_vs_analytic_maxrel", sim.maxRel)
+	rep.Metric("n20_sim_ci95_max", sim.maxCI)
+	rep.Metric("n20_sim_reps_total", float64(sim.repsTotal))
 	var simCSV strings.Builder
-	if err := plot.WriteCSV(&simCSV, []string{"w", "uc_sim"}, simXs, simYs); err != nil {
+	if err := plot.WriteCSV(&simCSV, []string{"w", "uc_sim", "ci95", "reps"},
+		sim.xs, sim.ys, sim.cis, sim.reps); err != nil {
 		return nil, err
 	}
 	rep.Artifacts = append(rep.Artifacts, Artifact{
@@ -136,26 +159,46 @@ func figure(id, title string, mode phy.AccessMode, s Settings) (*Report, error) 
 	return rep, nil
 }
 
+// simCurve is the simulated overlay: per operating point the mean U/C,
+// its CI95 half-width and the replication count spent on it.
+type simCurve struct {
+	xs, ys, cis, reps []float64
+	maxRel, maxCI     float64
+	repsTotal         int
+}
+
+// ucReplicator adapts a reusable macsim.Engine to replicate.Replicator:
+// one replication is Reset(seed)+Run, reported as normalized U/C.
+type ucReplicator struct {
+	eng   *macsim.Engine
+	scale float64 // Slot/Gain: payoff rate -> U/C
+}
+
+func (r ucReplicator) Replicate(seed uint64, out []float64) error {
+	r.eng.Reset(seed)
+	out[0] = r.eng.Run().GlobalPayoffRate() * r.scale
+	return nil
+}
+
 // simulatedCurve measures U/C at ~9 log-spaced CW values with the MAC
 // simulator and returns the series plus the maximum relative deviation
-// from the analytic curve. The simulator runs with the *configured* gain
-// and cost (it used to hardcode g = 1, e = 0.01, silently diverging from
-// the analytic overlay for any non-default config), and each operating
-// point draws from its own derived seed stream.
-func simulatedCurve(id string, mode phy.AccessMode, n int, s Settings) (xs, ys []float64, maxRel float64, err error) {
+// from the analytic curve (computed on the replicated means). The
+// simulator runs with the *configured* gain and cost (it used to
+// hardcode g = 1, e = 0.01, silently diverging from the analytic overlay
+// for any non-default config). Each operating point is replicated over
+// its own derived seed stream by internal/replicate — reusable engines,
+// deterministic at any worker count, adaptive precision when the
+// settings enable it.
+func simulatedCurve(id string, mode phy.AccessMode, g *core.Game, n int, s Settings) (*simCurve, error) {
 	p := phy.Default()
 	tm, err := p.Timing(mode)
 	if err != nil {
-		return nil, nil, 0, err
-	}
-	g, err := core.NewGame(core.DefaultConfig(n, mode))
-	if err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
 	cfg := g.Config()
 	ne, err := g.FindPaperNE()
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
 	duration := s.SingleHopSimTime
 	if duration > 200e6 {
@@ -172,35 +215,66 @@ func simulatedCurve(id string, mode phy.AccessMode, n int, s Settings) (xs, ys [
 		seen[w] = true
 		grid = append(grid, w)
 	}
-	xs = make([]float64, len(grid))
-	ys = make([]float64, len(grid))
-	rels := make([]float64, len(grid))
-	err = forEachIndex(len(grid), s.workerCount(), func(i int) error {
-		w := grid[i]
-		res, err := macsim.RunUniform(tm, p.MaxBackoffStage, w, n, duration,
-			cfg.Gain, cfg.Cost, rng.DeriveSeed(s.Seed, id+".sim", i))
+	minReps, maxReps, relCI := s.replicateBounds()
+	out := &simCurve{
+		xs:   make([]float64, len(grid)),
+		ys:   make([]float64, len(grid)),
+		cis:  make([]float64, len(grid)),
+		reps: make([]float64, len(grid)),
+	}
+	for i, w := range grid {
+		rres, err := replicate.Run(replicate.Plan{
+			BaseSeed:     s.Seed,
+			Stream:       fmt.Sprintf("%s.sim.w%d", id, w),
+			Metrics:      1,
+			RelTolerance: relCI,
+			MinReps:      minReps,
+			MaxReps:      maxReps,
+			Workers:      s.workerCount(),
+		}, func() (replicate.Replicator, error) {
+			eng, err := macsim.NewEngine(macsim.Config{
+				Timing:   tm,
+				MaxStage: p.MaxBackoffStage,
+				CW:       uniformCW(w, n),
+				Duration: duration,
+				Gain:     cfg.Gain,
+				Cost:     cfg.Cost,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return ucReplicator{eng: eng, scale: tm.Slot / cfg.Gain}, nil
+		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		uc := res.GlobalPayoffRate() * tm.Slot / cfg.Gain
-		xs[i] = float64(w)
-		ys[i] = uc
+		uc := rres.Mean(0)
+		out.xs[i] = float64(w)
+		out.ys[i] = uc
+		out.cis[i] = rres.CI95(0)
+		out.reps[i] = float64(rres.Reps)
+		out.repsTotal += rres.Reps
+		if out.cis[i] > out.maxCI {
+			out.maxCI = out.cis[i]
+		}
 		analytic, err := g.NormalizedGlobalPayoff(w)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		rels[i] = stats.RelErr(uc, analytic)
-		return nil
-	})
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	for _, rel := range rels {
-		if rel > maxRel {
-			maxRel = rel
+		if rel := stats.RelErr(uc, analytic); rel > out.maxRel {
+			out.maxRel = rel
 		}
 	}
-	return xs, ys, maxRel, nil
+	return out, nil
+}
+
+// uniformCW builds an n-node uniform CW profile.
+func uniformCW(w, n int) []int {
+	cw := make([]int, n)
+	for i := range cw {
+		cw[i] = w
+	}
+	return cw
 }
 
 // payoffCurve evaluates U/C on a log grid of CW values in [1, wMax],

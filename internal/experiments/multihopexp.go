@@ -65,15 +65,32 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 		return nil, err
 	}
 
+	minReps, maxReps, relCI := s.replicateBounds()
+	if minReps < s.MultihopReplicas {
+		minReps = s.MultihopReplicas
+	}
+	if maxReps < minReps {
+		maxReps = minReps
+	}
 	res, err := multihop.MeasureQuasiOptimality(nw, multihop.QuasiOptConfig{
 		Sim:              multihop.DefaultSimConfig(s.MultihopSimTime, rng.DeriveSeed(s.Seed, "M1.sweep", 0)),
 		Wm:               wm,
 		SweepMultipliers: []float64{0.4, 0.6, 0.8, 1.25, 1.6, 2.2, 3},
-		Replicas:         s.MultihopReplicas,
+		Replicas:         minReps,
+		MaxReplicas:      maxReps,
+		RelCITarget:      relCI,
 		Workers:          s.workerCount(),
 	})
 	if err != nil {
 		return nil, err
+	}
+	sweepReps := 0
+	maxCI := 0.0
+	for i := range res.SweptCWs {
+		sweepReps += res.RepsPerCW[i]
+		if res.GlobalCI95PerCW[i] > maxCI {
+			maxCI = res.GlobalCI95PerCW[i]
+		}
 	}
 
 	tb := plot.Table{
@@ -91,6 +108,8 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 	tb.MustAddRow("median per-node payoff ratio", fmt.Sprintf("%.3f", stats.Median(res.PerNodeRatio)), "-")
 	tb.MustAddRow("global payoff ratio", fmt.Sprintf("%.3f", res.GlobalRatio), ">= 0.97")
 	tb.MustAddRow("best uniform CW in sweep", fmt.Sprintf("%d", res.BestGlobalW), "-")
+	tb.MustAddRow("sweep replications (total)", fmt.Sprintf("%d over %d CWs", sweepReps, len(res.SweptCWs)), "-")
+	tb.MustAddRow("max global CI95 half-width", fmt.Sprintf("%.4g", maxCI), "-")
 
 	rep := &Report{ID: "M1", Title: "Multi-hop quasi-optimality", Text: tb.Render()}
 	rep.Metric("wm", float64(wm))
@@ -102,6 +121,8 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 	rep.Metric("global_ratio", res.GlobalRatio)
 	rep.Metric("best_global_w", float64(res.BestGlobalW))
 	rep.Metric("mean_degree", nw.MeanDegree())
+	rep.Metric("sweep_reps_total", float64(sweepReps))
+	rep.Metric("sweep_ci95_max", maxCI)
 
 	// Per-node ratio CSV.
 	idx := make([]float64, len(res.PerNodeRatio))
@@ -113,6 +134,20 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 		return nil, err
 	}
 	rep.Artifacts = append(rep.Artifacts, Artifact{Name: "m1_per_node_ratio.csv", Content: csv.String()})
+
+	// Per-CW sweep CSV: reps spent and CI reached at every operating point.
+	ws := make([]float64, len(res.SweptCWs))
+	reps := make([]float64, len(res.SweptCWs))
+	for i, w := range res.SweptCWs {
+		ws[i] = float64(w)
+		reps[i] = float64(res.RepsPerCW[i])
+	}
+	var sweepCSV strings.Builder
+	if err := plot.WriteCSV(&sweepCSV, []string{"w", "reps", "global_ci95"},
+		ws, reps, res.GlobalCI95PerCW); err != nil {
+		return nil, err
+	}
+	rep.Artifacts = append(rep.Artifacts, Artifact{Name: "m1_sweep.csv", Content: sweepCSV.String()})
 	return rep, nil
 }
 

@@ -75,20 +75,32 @@ type NERow struct {
 	Throughput float64
 }
 
-// neTable computes one NE table for the given access mode. The three
-// populations are independent, so they fan out over the worker pool; rows
-// land in their slice slots, keeping the table order deterministic.
+// neTable computes one NE table for the given access mode. Games (and
+// the Bianchi models they own) and the mode's timing are built once,
+// serially, before the fan-out — the per-grid-point simulator runs below
+// only look up the shared solver cache. The three populations are
+// independent, so they fan out over the worker pool; rows land in their
+// slice slots, keeping the table order deterministic.
 func neTable(id string, mode phy.AccessMode, paper map[int]int, s Settings) ([]NERow, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	rows := make([]NERow, len(tablePopulations))
-	err := forEachIndex(len(tablePopulations), s.workerCount(), func(k int) error {
-		n := tablePopulations[k]
+	tm, err := phy.Default().Timing(mode)
+	if err != nil {
+		return nil, err
+	}
+	games := make([]*core.Game, len(tablePopulations))
+	for k, n := range tablePopulations {
 		g, err := core.NewGame(core.DefaultConfig(n, mode))
 		if err != nil {
-			return err
+			return nil, err
 		}
+		games[k] = g
+	}
+	rows := make([]NERow, len(tablePopulations))
+	err = forEachIndex(len(tablePopulations), s.workerCount(), func(k int) error {
+		n := tablePopulations[k]
+		g := games[k]
 		theory, err := g.FindPaperNE()
 		if err != nil {
 			return err
@@ -97,7 +109,7 @@ func neTable(id string, mode phy.AccessMode, paper map[int]int, s Settings) ([]N
 		if err != nil {
 			return err
 		}
-		mean, variance, err := simulatedBestCW(id, g, n, theory.WStar, s)
+		mean, variance, err := simulatedBestCW(id, g, tm, n, theory.WStar, s)
 		if err != nil {
 			return err
 		}
@@ -125,13 +137,11 @@ func neTable(id string, mode phy.AccessMode, paper map[int]int, s Settings) ([]N
 // mean and variance (across nodes) of each node's payoff-maximizing CW.
 // The grid points are independent simulator runs, each on its own derived
 // seed stream (scoped by table ID and population, so e.g. T2/n=5 and
-// T3/n=5 never reuse a stream), fanned out over the worker pool.
-func simulatedBestCW(id string, g *core.Game, n, wStar int, s Settings) (mean, variance float64, err error) {
+// T3/n=5 never reuse a stream), fanned out over the worker pool. The
+// mode timing is hoisted to the table level (neTable) rather than
+// re-derived per population.
+func simulatedBestCW(id string, g *core.Game, tm phy.Timing, n, wStar int, s Settings) (mean, variance float64, err error) {
 	cfg := g.Config()
-	tm, err := cfg.PHY.Timing(cfg.Mode)
-	if err != nil {
-		return 0, 0, err
-	}
 	grid := cwGrid(wStar)
 	results := make([]*macsim.Result, len(grid))
 	stream := fmt.Sprintf("%s.sim.n%d", id, n)

@@ -9,6 +9,7 @@ import (
 	"selfishmac/internal/multihop"
 	"selfishmac/internal/phy"
 	"selfishmac/internal/plot"
+	"selfishmac/internal/replicate"
 	"selfishmac/internal/rng"
 	"selfishmac/internal/search"
 	"selfishmac/internal/topology"
@@ -188,6 +189,11 @@ func Robustness(s Settings) (*Report, error) {
 	rep.Metric("budget_found_w", float64(budgetRes.W))
 
 	// (e) TFT convergence under node churn on a static spatial network.
+	// Each churn rate is a replicated measurement (internal/replicate):
+	// every replication rebuilds the same topology (fixed topology seed)
+	// but draws its own initial profiles and churn/simulation streams
+	// from the replication seed, so the reported convergence stage and
+	// CW are means with a CI, not a single trajectory.
 	nodes := s.MultihopNodes
 	if nodes > 24 {
 		nodes = 24 // churn stages are sequential simulator runs; keep it light
@@ -197,56 +203,72 @@ func Robustness(s Settings) (*Report, error) {
 		Seed: rng.DeriveSeed(s.Seed, "A9.topo", 0),
 	}
 	churnRates := []float64{0, 0.02, 0.05}
+	minReps, maxReps, relCI := s.replicateBounds()
 	type churnRow struct {
-		converged int
-		cw        int
-		stages    int
+		res *replicate.Result
 	}
 	churnRows := make([]churnRow, len(churnRates))
-	err = forEachIndex(len(churnRates), s.workerCount(), func(i int) error {
-		nw, err := topology.New(topoCfg)
+	for i, rate := range churnRates {
+		rres, err := replicate.RunFunc(replicate.Plan{
+			BaseSeed:     s.Seed,
+			Stream:       fmt.Sprintf("A9.churn%02.0f", rate*100),
+			Metrics:      3, // converged-at stage, converged CW, stages run
+			Target:       0,
+			RelTolerance: relCI,
+			MinReps:      minReps,
+			MaxReps:      maxReps,
+			Workers:      s.workerCount(),
+		}, func(seed uint64, out []float64) error {
+			nw, err := topology.New(topoCfg)
+			if err != nil {
+				return err
+			}
+			r := rng.New(rng.DeriveSeed(seed, "init", 0))
+			strats := make([]core.Strategy, nodes)
+			for j := range strats {
+				strats[j] = core.TFT{Initial: 32 + r.Intn(64)}
+			}
+			sim := multihop.DefaultSimConfig(s.MultihopSimTime/4, rng.DeriveSeed(seed, "sim", 0))
+			eng, err := multihop.NewEngine(nw, strats, sim)
+			if err != nil {
+				return err
+			}
+			if rate > 0 {
+				eng = eng.WithChurn(multihop.ChurnConfig{
+					Seed:      rng.DeriveSeed(seed, "churn", 0),
+					LeaveProb: rate,
+					JoinProb:  0.3,
+					MinActive: nodes / 2,
+				})
+			}
+			tr, err := eng.WithStopWindow(3).Run(20)
+			if err != nil {
+				return err
+			}
+			out[0] = float64(tr.ConvergedAt)
+			out[1] = float64(tr.ConvergedCW)
+			out[2] = float64(len(tr.Stages))
+			return nil
+		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		r := rng.New(rng.DeriveSeed(s.Seed, "A9.churn.init", i))
-		strats := make([]core.Strategy, nodes)
-		for j := range strats {
-			strats[j] = core.TFT{Initial: 32 + r.Intn(64)}
-		}
-		sim := multihop.DefaultSimConfig(s.MultihopSimTime/4, rng.DeriveSeed(s.Seed, "A9.churn.sim", i))
-		eng, err := multihop.NewEngine(nw, strats, sim)
-		if err != nil {
-			return err
-		}
-		if churnRates[i] > 0 {
-			eng = eng.WithChurn(multihop.ChurnConfig{
-				Seed:      rng.DeriveSeed(s.Seed, "A9.churn", i),
-				LeaveProb: churnRates[i],
-				JoinProb:  0.3,
-				MinActive: nodes / 2,
-			})
-		}
-		tr, err := eng.WithStopWindow(3).Run(20)
-		if err != nil {
-			return err
-		}
-		churnRows[i] = churnRow{converged: tr.ConvergedAt, cw: tr.ConvergedCW, stages: len(tr.Stages)}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		churnRows[i] = churnRow{res: rres}
 	}
 	tbC := plot.Table{
-		Title:   fmt.Sprintf("TFT convergence under churn (%d nodes, static topology, 20 stages max)", nodes),
-		Headers: []string{"leave prob/stage", "converged at", "converged CW", "stages run"},
+		Title:   fmt.Sprintf("TFT convergence under churn (%d nodes, static topology, 20 stages max, mean over reps)", nodes),
+		Headers: []string{"leave prob/stage", "converged at", "converged CW", "stages run", "ci95", "reps"},
 	}
 	for i, rate := range churnRates {
-		row := churnRows[i]
-		tbC.MustAddRow(fmt.Sprintf("%.2f", rate), fmt.Sprintf("%d", row.converged),
-			fmt.Sprintf("%d", row.cw), fmt.Sprintf("%d", row.stages))
+		row := churnRows[i].res
+		tbC.MustAddRow(fmt.Sprintf("%.2f", rate), fmt.Sprintf("%.1f", row.Mean(0)),
+			fmt.Sprintf("%.1f", row.Mean(1)), fmt.Sprintf("%.1f", row.Mean(2)),
+			fmt.Sprintf("%.2f", row.CI95(0)), fmt.Sprintf("%d", row.Reps))
 		key := fmt.Sprintf("churn%02.0f_", rate*100)
-		rep.Metric(key+"converged_at", float64(row.converged))
-		rep.Metric(key+"converged_cw", float64(row.cw))
+		rep.Metric(key+"converged_at", row.Mean(0))
+		rep.Metric(key+"converged_cw", row.Mean(1))
+		rep.Metric(key+"converged_at_ci95", row.CI95(0))
+		rep.Metric(key+"reps", float64(row.Reps))
 	}
 	text = append(text, tbC.Render())
 

@@ -1,0 +1,113 @@
+package macsim
+
+import "fmt"
+
+// Engine is the reusable New(cfg) / Reset(seed) / Run() lifecycle over
+// the event-skipping simulator: construction allocates everything once
+// (calendar, per-node state, result slots), after which Reset + Run pairs
+// — and Reconfigure calls whose shape fits the allocated buffers — run at
+// zero steady-state allocations. It exists for replication loops
+// (internal/replicate) and stage loops (the closed-loop experiment),
+// which previously paid the full setup cost of Run on every call.
+//
+// Results are bit-identical to Run with the same Config: the engine is a
+// thin owner around the same fastEngine, with the same reference fallback
+// for configurations whose maximum contention window exceeds the calendar
+// capacity (the fallback path allocates per Run, like RunReference).
+//
+// An Engine is not safe for concurrent use; give each goroutine its own.
+type Engine struct {
+	cfg  Config
+	fast *fastEngine // nil → reference fallback
+}
+
+// NewEngine validates cfg and builds a reusable engine. The engine deep-
+// copies the config's slices, so the caller may reuse or mutate them.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("macsim: invalid config: %w", err)
+	}
+	e := &Engine{}
+	e.adoptConfig(cfg)
+	if fe, ok := newFastEngine(&e.cfg); ok {
+		e.fast = fe
+	}
+	return e, nil
+}
+
+// Reset re-seeds the engine in place: the next Run simulates the current
+// configuration under the given seed, exactly as a fresh Run would. It
+// allocates nothing.
+func (e *Engine) Reset(seed uint64) {
+	e.cfg.Seed = seed
+	if e.fast != nil {
+		e.fast.reset()
+	}
+}
+
+// Run executes the simulation. The returned Result is owned by the engine
+// and reused: it is valid until the next Reset, Run or Reconfigure. Call
+// Reset between runs; a Run without an intervening Reset replays the
+// previous trajectory on the calendar engine but would re-run the
+// reference fallback from a fresh PRNG, so the lifecycle is always
+// Reset(seed) then Run.
+func (e *Engine) Run() *Result {
+	if e.fast != nil {
+		return e.fast.run()
+	}
+	return runReference(&e.cfg)
+}
+
+// Reconfigure swaps the engine onto a new configuration, reusing every
+// allocated buffer when the shape fits (same node count, maximum
+// contention window within the allocated calendar) — the common case for
+// stage loops, where only CW, Seed or Duration change between stages — and
+// transparently rebuilding otherwise. After Reconfigure the engine is
+// reset to the new config's Seed.
+func (e *Engine) Reconfigure(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("macsim: invalid config: %w", err)
+	}
+	e.adoptConfig(cfg)
+	if e.fast != nil && e.fast.reconfigure() {
+		return nil
+	}
+	e.fast = nil
+	if fe, ok := newFastEngine(&e.cfg); ok {
+		e.fast = fe
+	}
+	return nil
+}
+
+// adoptConfig deep-copies cfg into e.cfg, reusing the previously owned
+// slices when lengths match so steady-state reconfiguration allocates
+// nothing.
+func (e *Engine) adoptConfig(cfg Config) {
+	cw, ts, tc := e.cfg.CW, e.cfg.PerNodeTs, e.cfg.PerNodeTc
+	e.cfg = cfg
+	e.cfg.CW = copyInts(cw, cfg.CW)
+	e.cfg.PerNodeTs = copyFloats(ts, cfg.PerNodeTs)
+	e.cfg.PerNodeTc = copyFloats(tc, cfg.PerNodeTc)
+}
+
+func copyInts(dst, src []int) []int {
+	if src == nil {
+		return nil
+	}
+	if len(dst) != len(src) {
+		dst = make([]int, len(src))
+	}
+	copy(dst, src)
+	return dst
+}
+
+func copyFloats(dst, src []float64) []float64 {
+	if src == nil {
+		return nil
+	}
+	if len(dst) != len(src) {
+		dst = make([]float64, len(src))
+	}
+	copy(dst, src)
+	return dst
+}

@@ -1,0 +1,143 @@
+package macsim
+
+import (
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/phy"
+)
+
+// cloneResult snapshots an engine-owned Result for comparison across runs.
+func cloneResult(r *Result) *Result {
+	out := *r
+	out.Nodes = append([]NodeStats(nil), r.Nodes...)
+	return &out
+}
+
+// TestDifferentialEngineMatchesRun pins the reusable lifecycle against the
+// one-shot entry point: for every differential config and a sweep of
+// seeds, Reset(seed)+Run on one engine must equal a fresh Run.
+func TestDifferentialEngineMatchesRun(t *testing.T) {
+	for ci, cfg := range diffConfigs(t) {
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatalf("cfg%02d: %v", ci, err)
+		}
+		for seed := uint64(0); seed < 4; seed++ {
+			ref := cfg
+			ref.Seed = seed
+			want, err := Run(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Reset(seed)
+			got := eng.Run()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("cfg%02d seed %d: engine diverged from Run:\nengine: %+v\nrun:    %+v",
+					ci, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialEngineReconfigure drives one engine through a stage
+// sequence of changing windows, seeds and durations — the closed-loop
+// usage — including a shape change (different node count) and an over-cap
+// window that forces the reference fallback, comparing every stage to a
+// fresh Run.
+func TestDifferentialEngineReconfigure(t *testing.T) {
+	basic := phy.Default().MustTiming(phy.Basic)
+	mk := func(cw []int, dur float64, seed uint64) Config {
+		return Config{Timing: basic, MaxStage: 6, CW: cw, Duration: dur, Seed: seed, Gain: 1, Cost: 0.01}
+	}
+	stages := []Config{
+		mk(uniform(128, 6), 1e6, 1),
+		mk([]int{128, 64, 128, 128, 32, 128}, 1e6, 2), // same shape: buffer reuse
+		mk(uniform(16, 6), 5e5, 3),                    // shrinking window: reuse
+		mk(uniform(336, 6), 1e6, 4),                   // growing window within calendar? may rebuild
+		mk(uniform(64, 9), 1e6, 5),                    // node count change: rebuild
+		{Timing: basic, MaxStage: 16, CW: uniform(fastWindowCap, 2), Duration: 1e5,
+			Seed: 6, Gain: 1, Cost: 0.01}, // over-cap: reference fallback
+		mk(uniform(48, 9), 1e6, 7), // back onto the calendar engine
+	}
+	eng, err := NewEngine(stages[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, cfg := range stages {
+		if si > 0 {
+			if err := eng.Reconfigure(cfg); err != nil {
+				t.Fatalf("stage %d: %v", si, err)
+			}
+		}
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cloneResult(eng.Run())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("stage %d: reconfigured engine diverged from fresh Run", si)
+		}
+	}
+}
+
+// The engine must not retain the caller's slices: mutating the config
+// after NewEngine/Reconfigure cannot change results.
+func TestEngineCopiesConfig(t *testing.T) {
+	cw := []int{32, 64, 96}
+	cfg := Config{Timing: phy.Default().MustTiming(phy.Basic), MaxStage: 6,
+		CW: cw, Duration: 1e6, Seed: 3, Gain: 1, Cost: 0.01}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Reset(3)
+	want := cloneResult(eng.Run())
+	cw[0] = 1 // caller clobbers its slice
+	eng.Reset(3)
+	if got := eng.Run(); !reflect.DeepEqual(got, want) {
+		t.Fatal("engine result changed when the caller mutated its CW slice")
+	}
+}
+
+// The acceptance criterion: post-construction, the reusable lifecycle —
+// Reset+Run, and same-shape Reconfigure+Run — performs zero allocations.
+func TestEngineSteadyStateAllocationFree(t *testing.T) {
+	cfg := Config{
+		Timing:   phy.Default().MustTiming(phy.Basic),
+		MaxStage: 6,
+		CW:       uniform(336, 20),
+		Duration: 1e6,
+		Seed:     1,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(0)
+	if allocs := testing.AllocsPerRun(5, func() {
+		seed++
+		eng.Reset(seed)
+		eng.Run()
+	}); allocs != 0 {
+		t.Fatalf("Reset+Run allocated %.1f objects per run, want 0", allocs)
+	}
+	alt := cfg
+	alt.CW = uniform(128, 20)
+	flip := false
+	if allocs := testing.AllocsPerRun(5, func() {
+		flip = !flip
+		next := cfg
+		if flip {
+			next = alt
+		}
+		if err := eng.Reconfigure(next); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+	}); allocs != 0 {
+		t.Fatalf("same-shape Reconfigure+Run allocated %.1f objects per run, want 0", allocs)
+	}
+}

@@ -116,6 +116,45 @@ func newFastEngine(cfg *Config) (*fastEngine, bool) {
 	return e, true
 }
 
+// reconfigure re-derives the per-config state (window copies, per-node
+// hold times) after the owning Engine mutated *e.cfg in place, then
+// resets. It reports ok=false when the new configuration does not fit the
+// allocated buffers — node count changed, calendar too small for the new
+// maximum window — or needs the reference fallback; the caller rebuilds
+// in that case. On success it allocates nothing.
+func (e *fastEngine) reconfigure() bool {
+	cfg := e.cfg
+	if len(cfg.CW) != e.n {
+		return false
+	}
+	maxWindow := 0
+	for _, w := range cfg.CW {
+		if w > fastWindowCap>>uint(cfg.MaxStage) {
+			return false
+		}
+		if win := w << uint(cfg.MaxStage); win > maxWindow {
+			maxWindow = win
+		}
+	}
+	// One calendar wrap must still cover every live expiry.
+	if int64(maxWindow) >= int64(len(e.head)) {
+		return false
+	}
+	copy(e.cw, cfg.CW)
+	for i := 0; i < e.n; i++ {
+		e.ts[i] = cfg.Timing.Ts
+		e.tc[i] = cfg.Timing.Tc
+	}
+	if cfg.PerNodeTs != nil {
+		copy(e.ts, cfg.PerNodeTs)
+	}
+	if cfg.PerNodeTc != nil {
+		copy(e.tc, cfg.PerNodeTc)
+	}
+	e.reset()
+	return true
+}
+
 // reset re-seeds the PRNG and restores the initial simulator state. It
 // allocates nothing, so (reset + run) pairs can be measured for hot-loop
 // allocations and reused across benchmark iterations.

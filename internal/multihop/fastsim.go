@@ -39,39 +39,98 @@ import (
 // — per event slot, expired nodes act in ascending node order (isolated
 // redraw or receiver pick), then transmitters redraw in ascending order —
 // so Simulate and SimulateReference produce byte-identical SimResults.
-func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult, error) {
+//
+// The state lives in simState so the engine is reusable: init allocates
+// every buffer once, reset restores the initial trajectory state for a
+// new seed without allocating, and run executes one simulation into the
+// state-owned result. Simulate wraps one-shot usage; the exported
+// Simulator (simulator.go) exposes the reusable lifecycle for replication
+// loops.
+type simState struct {
+	nw     Topology
+	mobile MobileTopology
+	cfg    SimConfig
+	n      int
+
+	adj          [][]int
+	src          rng.Source
+	nodes        []spatialNode
+	fire         []int64 // absolute slot at which the node next acts
+	transmitters []int
+	receivers    []int
+	inTx         []bool
+	drawn        []int // transmitter's fresh counter, for fire recompute
+	res          SimResult
+
+	tsSlots, tcSlots   int64
+	totalSlots         int64
+	mobilityEverySlots int64
+	nextMobility       int64
+}
+
+// init binds the state to a network and config, allocates every buffer,
+// and resets for cfg.Seed. cfg must already be validated; cfg.CW is
+// retained, so callers that reuse the state must pass an owned slice.
+func (st *simState) init(nw Topology, mobile MobileTopology, cfg SimConfig) {
 	n := nw.N()
-	src := rng.New(cfg.Seed)
-	nodes := make([]spatialNode, n)
-	fire := make([]int64, n) // absolute slot at which the node next acts
-	for i := range nodes {
-		nodes[i] = spatialNode{cw: cfg.CW[i]}
-		nodes[i].draw(src, cfg.MaxStage)
-		fire[i] = int64(nodes[i].counter)
-	}
-	adj := nw.AdjacencyLists()
+	st.nw, st.mobile, st.cfg, st.n = nw, mobile, cfg, n
+	st.nodes = make([]spatialNode, n)
+	st.fire = make([]int64, n)
+	st.transmitters = make([]int, 0, n)
+	st.receivers = make([]int, n)
+	st.inTx = make([]bool, n)
+	st.drawn = make([]int, n)
+	st.res.Nodes = make([]NodeStats, n)
+	st.adj = nw.AdjacencyLists()
 
-	res := &SimResult{Nodes: make([]NodeStats, n)}
-	tsSlots := int64(cfg.Timing.SlotsCeil(cfg.Timing.Ts))
-	tcSlots := int64(cfg.Timing.SlotsCeil(cfg.Timing.Tc))
-	totalSlots := int64(cfg.Duration / cfg.Timing.Slot)
-	if totalSlots < 1 {
-		totalSlots = 1
+	st.tsSlots = int64(cfg.Timing.SlotsCeil(cfg.Timing.Ts))
+	st.tcSlots = int64(cfg.Timing.SlotsCeil(cfg.Timing.Tc))
+	st.totalSlots = int64(cfg.Duration / cfg.Timing.Slot)
+	if st.totalSlots < 1 {
+		st.totalSlots = 1
 	}
-	var nextMobility int64 = -1
-	var mobilityEverySlots int64
+	st.mobilityEverySlots = 0
 	if cfg.MobilityEvery > 0 {
-		mobilityEverySlots = int64(cfg.MobilityEvery / cfg.Timing.Slot)
-		if mobilityEverySlots < 1 {
-			mobilityEverySlots = 1
+		st.mobilityEverySlots = int64(cfg.MobilityEvery / cfg.Timing.Slot)
+		if st.mobilityEverySlots < 1 {
+			st.mobilityEverySlots = 1
 		}
-		nextMobility = mobilityEverySlots
 	}
+	st.reset(cfg.Seed)
+}
 
-	transmitters := make([]int, 0, n)
-	receivers := make([]int, n)
-	inTx := make([]bool, n)
-	drawn := make([]int, n) // transmitter's fresh counter, for fire recompute
+// reset restores the initial trajectory state for the given seed: PRNG
+// re-seeded, backoff states redrawn in node order (exactly like the
+// reference loop's setup), result cleared. It allocates nothing.
+func (st *simState) reset(seed uint64) {
+	st.cfg.Seed = seed
+	st.src.Reseed(seed)
+	for i := range st.nodes {
+		st.nodes[i] = spatialNode{cw: st.cfg.CW[i]}
+		st.nodes[i].draw(&st.src, st.cfg.MaxStage)
+		st.fire[i] = int64(st.nodes[i].counter)
+	}
+	for i := range st.res.Nodes {
+		st.res.Nodes[i] = NodeStats{}
+	}
+	st.res.Time, st.res.Slots, st.res.HiddenFraction = 0, 0, 0
+	st.nextMobility = -1
+	if st.mobilityEverySlots > 0 {
+		st.nextMobility = st.mobilityEverySlots
+	}
+}
+
+// run executes the simulation to completion and finalises the state-owned
+// result. On a static topology it performs no allocations.
+func (st *simState) run() (*SimResult, error) {
+	nw, cfg := st.nw, &st.cfg
+	nodes, fire := st.nodes, st.fire
+	receivers, inTx, drawn := st.receivers, st.inTx, st.drawn
+	adj := st.adj
+	res := &st.res
+	n := st.n
+	totalSlots := st.totalSlots
+	nextMobility := st.nextMobility
 	var totalAttempts, totalHidden int64
 
 	for {
@@ -86,26 +145,26 @@ func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult
 			// No further MAC event inside the run; apply the mobility
 			// steps the reference loop would still have performed.
 			for nextMobility > 0 && nextMobility < totalSlots {
-				if err := mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
+				if err := st.mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
 					return nil, fmt.Errorf("multihop: mobility step: %w", err)
 				}
-				adj = mobile.AdjacencyLists()
-				nextMobility += mobilityEverySlots
+				adj = st.mobile.AdjacencyLists()
+				nextMobility += st.mobilityEverySlots
 			}
 			break
 		}
 		// Mobility catch-up: one step per due point, all before phase 1
 		// of this slot — exactly when the reference would have stepped.
 		for nextMobility > 0 && t >= nextMobility {
-			if err := mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
+			if err := st.mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
 				return nil, fmt.Errorf("multihop: mobility step: %w", err)
 			}
-			adj = mobile.AdjacencyLists()
-			nextMobility += mobilityEverySlots
+			adj = st.mobile.AdjacencyLists()
+			nextMobility += st.mobilityEverySlots
 		}
 
 		// Phase 1: expired nodes act in ascending node order.
-		transmitters = transmitters[:0]
+		transmitters := st.transmitters[:0]
 		for i := 0; i < n; i++ {
 			if fire[i] != t {
 				continue
@@ -114,12 +173,12 @@ func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult
 				// Isolated node: redraw and stay in backoff. It resumes
 				// counting at t+1 (it cannot be blocked here, or it
 				// would not have fired).
-				nodes[i].draw(src, cfg.MaxStage)
+				nodes[i].draw(&st.src, cfg.MaxStage)
 				fire[i] = t + 1 + int64(nodes[i].counter)
 				continue
 			}
 			transmitters = append(transmitters, i)
-			receivers[i] = adj[i][src.Intn(len(adj[i]))]
+			receivers[i] = adj[i][st.src.Intn(len(adj[i]))]
 		}
 		if len(transmitters) == 0 {
 			continue
@@ -133,8 +192,8 @@ func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult
 		// reference), threading freeze shifts into neighbors' fire slots.
 		for _, i := range transmitters {
 			r := receivers[i]
-			st := &res.Nodes[i]
-			st.Attempts++
+			stn := &res.Nodes[i]
+			stn.Attempts++
 			totalAttempts++
 
 			ok := true
@@ -154,15 +213,15 @@ func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult
 					}
 				}
 			}
-			dur := tcSlots
+			dur := st.tcSlots
 			if ok {
-				st.Successes++
+				stn.Successes++
 				nodes[i].stage = 0
-				dur = tsSlots
+				dur = st.tsSlots
 			} else {
-				st.Collisions++
+				stn.Collisions++
 				if hidden {
-					st.HiddenCollisions++
+					stn.HiddenCollisions++
 					totalHidden++
 				}
 				if nodes[i].stage < cfg.MaxStage {
@@ -170,7 +229,7 @@ func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult
 				}
 			}
 			nodes[i].txUntil = t + dur
-			nodes[i].draw(src, cfg.MaxStage)
+			nodes[i].draw(&st.src, cfg.MaxStage)
 			drawn[i] = nodes[i].counter
 			// Carrier sensing: everyone in range of the transmitter
 			// holds; shift non-transmitters' fire slots by the slots the
@@ -205,15 +264,25 @@ func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult
 			inTx[i] = false
 		}
 	}
+	st.adj = adj
+	st.nextMobility = nextMobility
 
 	res.Slots = totalSlots
 	res.Time = float64(totalSlots) * cfg.Timing.Slot
 	for i := range res.Nodes {
-		st := &res.Nodes[i]
-		st.PayoffRate = (float64(st.Successes)*cfg.Gain - float64(st.Attempts)*cfg.Cost) / res.Time
+		stn := &res.Nodes[i]
+		stn.PayoffRate = (float64(stn.Successes)*cfg.Gain - float64(stn.Attempts)*cfg.Cost) / res.Time
 	}
 	if totalAttempts > 0 {
 		res.HiddenFraction = float64(totalHidden) / float64(totalAttempts)
 	}
 	return res, nil
+}
+
+// simulateFast is the one-shot entry behind Simulate: fresh state per
+// call, supporting mobility.
+func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult, error) {
+	st := &simState{}
+	st.init(nw, mobile, cfg)
+	return st.run()
 }

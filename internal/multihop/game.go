@@ -8,7 +8,7 @@ import (
 	"selfishmac/internal/bianchi"
 	"selfishmac/internal/core"
 	"selfishmac/internal/phy"
-	"selfishmac/internal/rng"
+	"selfishmac/internal/replicate"
 	"selfishmac/internal/topology"
 )
 
@@ -144,17 +144,28 @@ type QuasiOptConfig struct {
 	// SweepMultipliers are the relative common-CW values tried in the
 	// sweep. 1.0 (= Wm itself) is implicitly included.
 	SweepMultipliers []float64
-	// Replicas averages each operating point over this many independent
-	// seeds (derived deterministically from Sim.Seed) to suppress
-	// sampling noise in the per-node ratios. 0 or 1 means one run.
+	// Replicas averages each operating point over at least this many
+	// independent seeds (derived deterministically from Sim.Seed) to
+	// suppress sampling noise in the per-node ratios. 0 or 1 means one
+	// run.
 	Replicas int
-	// Workers bounds the goroutines fanned out over the independent
-	// (operating point, replica) simulator runs. 0 or negative means
-	// GOMAXPROCS; 1 forces the serial path. Results are bit-identical at
-	// every worker count because each run owns a derived seed and a
-	// result slot, and aggregation happens in a fixed order afterwards.
-	// Runs are only parallelized on a static topology snapshot
-	// (Sim.MobilityEvery == 0): a mobile run mutates the shared network.
+	// MaxReplicas, when greater than Replicas and RelCITarget is set,
+	// enables adaptive precision: each operating point replicates until
+	// the CI95 half-width of the global payoff rate drops below
+	// RelCITarget of its mean, within [Replicas, MaxReplicas]. Zero (or
+	// any value below Replicas) means exactly Replicas runs per point.
+	MaxReplicas int
+	// RelCITarget is the relative CI95 target for adaptive stopping (see
+	// MaxReplicas). Zero disables adaptive stopping.
+	RelCITarget float64
+	// Workers bounds the goroutines fanned out over a point's replicated
+	// simulator runs. 0 or negative means GOMAXPROCS; 1 forces the
+	// serial path. Results are bit-identical at every worker count — the
+	// replication layer (internal/replicate) schedules deterministic
+	// rounds and merges moments in index order. Runs are only
+	// parallelized (and only adaptively replicated) on a static topology
+	// snapshot (Sim.MobilityEvery == 0): a mobile run mutates the shared
+	// network, so mobile measurements stay serial and fixed-R.
 	Workers int
 }
 
@@ -180,6 +191,12 @@ type QuasiOptResult struct {
 	GlobalRatio float64
 	// BestGlobalW is the uniform CW attaining GlobalMax.
 	BestGlobalW int
+	// RepsPerCW[k] is the number of replications actually run for
+	// SweptCWs[k] (Replicas unless adaptive stopping ended earlier or
+	// later), and GlobalCI95PerCW[k] the CI95 half-width of its global
+	// payoff rate.
+	RepsPerCW       []int
+	GlobalCI95PerCW []float64
 }
 
 // MeasureQuasiOptimality runs the paper's Section VII.B experiment on the
@@ -198,53 +215,80 @@ func MeasureQuasiOptimality(nw *topology.Network, cfg QuasiOptConfig) (*QuasiOpt
 	candidates := sweepCWs(cfg.Wm, cfg.SweepMultipliers)
 
 	res := &QuasiOptResult{
-		Wm:           cfg.Wm,
-		SweptCWs:     candidates,
-		PerNodeRatio: make([]float64, n),
+		Wm:              cfg.Wm,
+		SweptCWs:        candidates,
+		PerNodeRatio:    make([]float64, n),
+		RepsPerCW:       make([]int, len(candidates)),
+		GlobalCI95PerCW: make([]float64, len(candidates)),
 	}
 	replicas := cfg.Replicas
 	if replicas < 1 {
 		replicas = 1
 	}
-	// Every (candidate CW, replica) pair is an independent simulator run
-	// on its own derived seed: fan them all out at once, then aggregate
-	// in the fixed (candidate, replica) order so the averages are
-	// bit-identical to the serial double loop.
-	runs := make([]*SimResult, len(candidates)*replicas)
-	err := forEachIndex(len(runs), cfg.Workers, cfg.Sim.MobilityEvery == 0, func(k int) error {
-		w := candidates[k/replicas]
-		rep := k % replicas
-		sim := cfg.Sim
-		sim.CW = uniformCWProfile(w, n)
-		sim.Seed = rng.DeriveSeed(cfg.Sim.Seed, "multihop.quasiopt", rep)
-		r, err := Simulate(nw, sim)
-		if err != nil {
-			return err
-		}
-		runs[k] = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	maxReplicas := cfg.MaxReplicas
+	if maxReplicas < replicas {
+		maxReplicas = replicas
 	}
+	mobile := cfg.Sim.MobilityEvery > 0
+
+	// Each candidate CW is one replicated measurement. Replication index
+	// — not the candidate — drives the derived seed, so candidates are
+	// compared on paired seeds, like the previous serial double loop.
+	// On a static snapshot the replication layer fans the runs over
+	// reusable Simulators and can stop adaptively; a mobile network is
+	// mutated by every run, so it gets the serial fixed-R schedule in
+	// the same (candidate, replica) order as before.
 	atWm := make([]float64, n)
 	best := make([]float64, n)
 	mean := make([]float64, n)
 	for ci, w := range candidates {
-		for i := range mean {
-			mean[i] = 0
+		plan := replicate.Plan{
+			BaseSeed:     cfg.Sim.Seed,
+			Stream:       "multihop.quasiopt",
+			Metrics:      n + 1,
+			Target:       n,
+			RelTolerance: cfg.RelCITarget,
+			MinReps:      replicas,
+			MaxReps:      maxReplicas,
+			Workers:      cfg.Workers,
 		}
-		var gp float64
-		for rep := 0; rep < replicas; rep++ {
-			r := runs[ci*replicas+rep]
-			gp += r.GlobalPayoffRate()
-			for i := range mean {
-				mean[i] += r.Nodes[i].PayoffRate
-			}
+		var rres *replicate.Result
+		var err error
+		if mobile {
+			plan.Workers = 1
+			plan.MaxReps = replicas
+			plan.RelTolerance = 0
+			sim := cfg.Sim
+			sim.CW = uniformCWProfile(w, n)
+			rres, err = replicate.RunFunc(plan, func(seed uint64, out []float64) error {
+				s := sim
+				s.Seed = seed
+				r, err := Simulate(nw, s)
+				if err != nil {
+					return err
+				}
+				fillQuasiOptMetrics(r, out)
+				return nil
+			})
+		} else {
+			rres, err = replicate.Run(plan, func() (replicate.Replicator, error) {
+				sim := cfg.Sim
+				sim.CW = uniformCWProfile(w, n)
+				s, err := NewSimulator(nw, sim)
+				if err != nil {
+					return nil, err
+				}
+				return quasiOptReplicator{s}, nil
+			})
 		}
-		gp /= float64(replicas)
+		if err != nil {
+			return nil, err
+		}
+		res.RepsPerCW[ci] = rres.Reps
+		res.GlobalCI95PerCW[ci] = rres.CI95(n)
+		gp := rres.Mean(n)
 		for i := range mean {
-			mean[i] /= float64(replicas)
+			mean[i] = rres.Mean(i)
 		}
 		if w == cfg.Wm {
 			res.GlobalAtWm = gp
@@ -272,6 +316,32 @@ func MeasureQuasiOptimality(nw *topology.Network, cfg QuasiOptConfig) (*QuasiOpt
 		res.GlobalRatio = res.GlobalAtWm / res.GlobalMax
 	}
 	return res, nil
+}
+
+// quasiOptReplicator adapts a reusable Simulator to replicate.Replicator:
+// one replication is Reset(seed)+Run, reported as n per-node payoff rates
+// followed by their sum (the global rate, the adaptive-stopping target).
+type quasiOptReplicator struct {
+	sim *Simulator
+}
+
+func (q quasiOptReplicator) Replicate(seed uint64, out []float64) error {
+	q.sim.Reset(seed)
+	r, err := q.sim.Run()
+	if err != nil {
+		return err
+	}
+	fillQuasiOptMetrics(r, out)
+	return nil
+}
+
+func fillQuasiOptMetrics(r *SimResult, out []float64) {
+	var gp float64
+	for i := range r.Nodes {
+		out[i] = r.Nodes[i].PayoffRate
+		gp += r.Nodes[i].PayoffRate
+	}
+	out[len(r.Nodes)] = gp
 }
 
 // sweepCWs maps multipliers to distinct integer CW values >= 1, sorted,

@@ -1,0 +1,161 @@
+package multihop
+
+import (
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/phy"
+)
+
+// cloneSimResult snapshots a simulator-owned result for comparison.
+func cloneSimResult(r *SimResult) *SimResult {
+	out := *r
+	out.Nodes = append([]NodeStats(nil), r.Nodes...)
+	return &out
+}
+
+// TestDifferentialSimulatorMatchesSimulate pins the reusable lifecycle
+// against the one-shot entry point: for every static differential config
+// and a sweep of seeds, Reset(seed)+Run on one simulator must equal a
+// fresh Simulate.
+func TestDifferentialSimulatorMatchesSimulate(t *testing.T) {
+	for _, tc := range diffCases(t) {
+		if tc.cfg.MobilityEvery > 0 {
+			continue // mobility is one-shot only
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := NewSimulator(tc.topo(t), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := tc.cfg.Seed; seed < tc.cfg.Seed+4; seed++ {
+				ref := tc.cfg
+				ref.Seed = seed
+				want, err := Simulate(tc.topo(t), ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim.Reset(seed)
+				got, err := sim.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: simulator diverged from Simulate:\nsim:      %+v\nsimulate: %+v",
+						seed, got, want)
+				}
+			}
+		})
+	}
+}
+
+// SetCW must behave exactly like building a fresh simulator with the new
+// profile — the quasi-optimality sweep depends on this.
+func TestSimulatorSetCW(t *testing.T) {
+	nw := randomNetwork(t, 20, 300, 31)
+	cfg := simCfg(phy.RTSCTS, uniformCW(64, 20), 1e6, 1)
+	sim, err := NewSimulator(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{32, 116, 64} {
+		profile := uniformCW(w, 20)
+		if err := sim.SetCW(profile); err != nil {
+			t.Fatal(err)
+		}
+		sim.Reset(7)
+		got, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := cfg
+		ref.CW = profile
+		ref.Seed = 7
+		want, err := Simulate(nw, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("w=%d: SetCW simulator diverged from fresh Simulate", w)
+		}
+	}
+	if err := sim.SetCW(uniformCW(32, 19)); err == nil {
+		t.Fatal("SetCW accepted a wrong-length profile")
+	}
+	if err := sim.SetCW(uniformCW(0, 20)); err == nil {
+		t.Fatal("SetCW accepted a zero window")
+	}
+}
+
+// The simulator must not retain the caller's CW slice.
+func TestSimulatorCopiesConfig(t *testing.T) {
+	nw := &fixedGraph{adj: [][]int{{1}, {0, 2}, {1}}}
+	cw := []int{16, 32, 16}
+	sim, err := NewSimulator(nw, simCfg(phy.RTSCTS, cw, 1e6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Reset(3)
+	r, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneSimResult(r)
+	cw[0] = 1 // caller clobbers its slice
+	sim.Reset(3)
+	got, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("simulator result changed when the caller mutated its CW slice")
+	}
+}
+
+// Mobility must be rejected at construction, not discovered mid-run.
+func TestSimulatorRejectsMobility(t *testing.T) {
+	nw := randomNetwork(t, 10, 300, 5)
+	cfg := simCfg(phy.RTSCTS, uniformCW(32, 10), 1e6, 1)
+	cfg.MobilityEvery = 1e5
+	if _, err := NewSimulator(nw, cfg); err == nil {
+		t.Fatal("NewSimulator accepted a mobile config")
+	}
+}
+
+// The acceptance criterion: post-construction, Reset+Run — and SetCW with
+// a same-length profile — performs zero allocations. This pins the fix for
+// the fast-engine allocation regression (Simulate paid 12 allocs / 277 KB
+// per call for buffers and the adjacency snapshot).
+func TestSimulatorSteadyStateAllocationFree(t *testing.T) {
+	nw := randomNetwork(t, 50, 180, 11)
+	cfg := simCfg(phy.RTSCTS, uniformCW(116, 50), 5e5, 1)
+	sim, err := NewSimulator(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(0)
+	if allocs := testing.AllocsPerRun(5, func() {
+		seed++
+		sim.Reset(seed)
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Reset+Run allocated %.1f objects per run, want 0", allocs)
+	}
+	profiles := [][]int{uniformCW(58, 50), uniformCW(116, 50)}
+	flip := 0
+	if allocs := testing.AllocsPerRun(5, func() {
+		flip = 1 - flip
+		if err := sim.SetCW(profiles[flip]); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+		sim.Reset(seed)
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("SetCW+Reset+Run allocated %.1f objects per run, want 0", allocs)
+	}
+}

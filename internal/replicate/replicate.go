@@ -1,0 +1,276 @@
+// Package replicate is the deterministic parallel replication controller
+// behind the simulation-backed experiments: it runs independent
+// replications of a simulator configuration on per-index derived seeds,
+// merges per-replica moments in index order, and — when a tolerance is
+// configured — adaptively stops once the 95% confidence half-width of a
+// target metric is small enough.
+//
+// Three properties make it safe to drop into the experiment harness:
+//
+//   - Bit-identical at any worker count. Replication i always runs on
+//     seed rng.DeriveSeed(BaseSeed, Stream, i) and writes only its own
+//     metric slots; moments are folded serially in index order after each
+//     round. Workers change wall-clock only (the forEachIndex contract).
+//
+//   - Deterministic adaptive stopping. The schedule is defined in rounds
+//     (batch → merge → decide): the first round runs MinReps
+//     replications, each later round BatchSize more, and the stopping
+//     test runs only at round boundaries on the index-ordered fold. The
+//     stopping point is therefore a pure function of the plan, never of
+//     scheduling races.
+//
+//   - Engine reuse. Each worker owns one Replicator, built once by the
+//     factory and reset per replication, so reusable engines
+//     (macsim.Engine, multihop.Simulator) amortize their setup across
+//     the whole batch at ~0 allocations per replication.
+package replicate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"selfishmac/internal/rng"
+	"selfishmac/internal/stats"
+)
+
+// Replicator runs one replication on the given seed and writes one value
+// per metric into out (len(out) == Plan.Metrics). Implementations are
+// typically reusable engines: Replicate resets them in place, so a single
+// Replicator must not be shared between goroutines — the controller
+// builds one per worker.
+type Replicator interface {
+	Replicate(seed uint64, out []float64) error
+}
+
+// Func adapts a stateless function to the Replicator interface.
+type Func func(seed uint64, out []float64) error
+
+// Replicate implements Replicator.
+func (f Func) Replicate(seed uint64, out []float64) error { return f(seed, out) }
+
+// Plan describes one replication batch.
+type Plan struct {
+	// BaseSeed and Stream scope the per-replication seed stream:
+	// replication i runs on rng.DeriveSeed(BaseSeed, Stream, i).
+	BaseSeed uint64
+	Stream   string
+	// Metrics is the number of values each replication produces.
+	Metrics int
+	// Target indexes the metric whose confidence interval drives adaptive
+	// stopping (ignored for fixed-R plans).
+	Target int
+	// Tolerance, when positive, stops the batch once the 95% CI
+	// half-width of the target metric is <= Tolerance (absolute).
+	Tolerance float64
+	// RelTolerance, when positive, stops once the half-width is
+	// <= RelTolerance * |mean|. Either tolerance satisfied stops the run.
+	RelTolerance float64
+	// MinReps and MaxReps bound the replication count. With no tolerance
+	// configured the plan is fixed-R: exactly MaxReps replications run.
+	// Adaptive plans never decide on fewer than max(MinReps, 2) samples.
+	MinReps int
+	MaxReps int
+	// BatchSize is the number of replications added per adaptive round
+	// after the first (which runs MinReps). 0 defaults to MinReps.
+	BatchSize int
+	// Workers bounds the goroutines running replications (0 or negative
+	// means GOMAXPROCS; 1 forces the serial path).
+	Workers int
+}
+
+// adaptive reports whether any stopping tolerance is configured.
+func (p Plan) adaptive() bool { return p.Tolerance > 0 || p.RelTolerance > 0 }
+
+// normalized validates the plan and fills defaults.
+func (p Plan) normalized() (Plan, error) {
+	var errs []error
+	if p.Metrics < 1 {
+		errs = append(errs, fmt.Errorf("Metrics = %d must be >= 1", p.Metrics))
+	}
+	if p.Target < 0 || p.Target >= p.Metrics {
+		errs = append(errs, fmt.Errorf("Target = %d outside [0, %d)", p.Target, p.Metrics))
+	}
+	if p.MaxReps < 1 {
+		errs = append(errs, fmt.Errorf("MaxReps = %d must be >= 1", p.MaxReps))
+	}
+	if p.MinReps < 0 || p.Tolerance < 0 || p.RelTolerance < 0 || p.BatchSize < 0 {
+		errs = append(errs, errors.New("negative MinReps/Tolerance/RelTolerance/BatchSize"))
+	}
+	if len(errs) > 0 {
+		return p, errors.Join(errs...)
+	}
+	if p.adaptive() {
+		if p.MinReps < 2 {
+			p.MinReps = 2 // a CI needs at least two samples
+		}
+	} else {
+		p.MinReps = p.MaxReps // fixed-R: one round of exactly MaxReps
+	}
+	if p.MinReps > p.MaxReps {
+		p.MinReps = p.MaxReps
+	}
+	if p.BatchSize < 1 {
+		p.BatchSize = p.MinReps
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.Workers > p.MaxReps {
+		p.Workers = p.MaxReps
+	}
+	return p, nil
+}
+
+// FixedPlan is a convenience constructor for the fixed-R (no adaptive
+// stopping) plan the experiment harness uses when a tolerance is not
+// configured: exactly reps replications, whatever the variance.
+func FixedPlan(baseSeed uint64, stream string, metrics, reps, workers int) Plan {
+	return Plan{
+		BaseSeed: baseSeed,
+		Stream:   stream,
+		Metrics:  metrics,
+		MinReps:  reps,
+		MaxReps:  reps,
+		Workers:  workers,
+	}
+}
+
+// Result is the merged outcome of a replication batch.
+type Result struct {
+	// Reps is the number of replications actually run; Rounds the number
+	// of batch→merge→decide rounds.
+	Reps   int
+	Rounds int
+	// Converged reports whether an adaptive plan met its tolerance before
+	// exhausting MaxReps (always false for fixed-R plans).
+	Converged bool
+	// Moments holds the index-ordered fold of every metric.
+	Moments []stats.Welford
+}
+
+// Mean returns the merged mean of metric m.
+func (r *Result) Mean(m int) float64 { return r.Moments[m].Mean() }
+
+// CI95 returns the 95% confidence half-width of metric m's mean.
+func (r *Result) CI95(m int) float64 { return r.Moments[m].CI95() }
+
+// Summary snapshots metric m.
+func (r *Result) Summary(m int) stats.Summary { return r.Moments[m].Snapshot() }
+
+// Run executes the plan. factory builds one Replicator per worker (each
+// built exactly once, before any replication runs, and kept for the whole
+// batch — this is where reusable engines pay off). The returned Result is
+// bit-identical at every worker count; on error, the lowest-index
+// replication error is returned.
+func Run(p Plan, factory func() (Replicator, error)) (*Result, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, fmt.Errorf("replicate: invalid plan: %w", err)
+	}
+	workers := make([]Replicator, p.Workers)
+	for i := range workers {
+		r, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("replicate: worker %d: %w", i, err)
+		}
+		if r == nil {
+			return nil, fmt.Errorf("replicate: worker %d: factory returned nil", i)
+		}
+		workers[i] = r
+	}
+
+	values := make([]float64, p.MaxReps*p.Metrics)
+	errs := make([]error, p.MaxReps)
+	res := &Result{Moments: make([]stats.Welford, p.Metrics)}
+
+	done, target := 0, p.MinReps
+	for {
+		runRound(p, workers, values, errs, done, target)
+		// Errors surface in index order, like forEachIndex.
+		for i := done; i < target; i++ {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("replicate: replication %d: %w", i, errs[i])
+			}
+		}
+		// Fold the round as one block per metric, merged in index order:
+		// the cumulative moments equal a single index-ordered stream.
+		for m := 0; m < p.Metrics; m++ {
+			var blk stats.Welford
+			for i := done; i < target; i++ {
+				blk.Add(values[i*p.Metrics+m])
+			}
+			res.Moments[m].Merge(blk)
+		}
+		done = target
+		res.Rounds++
+		if p.adaptive() && done >= p.MinReps && done >= 2 {
+			w := &res.Moments[p.Target]
+			ci := w.CI95()
+			if (p.Tolerance > 0 && ci <= p.Tolerance) ||
+				(p.RelTolerance > 0 && ci <= p.RelTolerance*math.Abs(w.Mean())) {
+				res.Converged = true
+				break
+			}
+		}
+		if done >= p.MaxReps {
+			break
+		}
+		target = done + p.BatchSize
+		if target > p.MaxReps {
+			target = p.MaxReps
+		}
+	}
+	res.Reps = done
+	return res, nil
+}
+
+// RunFunc runs the plan over a stateless replication function. The same
+// function value serves every worker, so it must be safe for concurrent
+// use when Workers > 1.
+func RunFunc(p Plan, f Func) (*Result, error) {
+	return Run(p, func() (Replicator, error) { return f, nil })
+}
+
+// runRound executes replications [lo, hi) across the worker Replicators.
+// Each replication writes only its own metric slots and error slot, so
+// results are independent of which worker claims which index.
+func runRound(p Plan, workers []Replicator, values []float64, errs []error, lo, hi int) {
+	span := hi - lo
+	nw := len(workers)
+	if nw > span {
+		nw = span
+	}
+	runOne := func(r Replicator, i int) {
+		seed := rng.DeriveSeed(p.BaseSeed, p.Stream, i)
+		errs[i] = r.Replicate(seed, values[i*p.Metrics:(i+1)*p.Metrics:(i+1)*p.Metrics])
+	}
+	if nw <= 1 {
+		for i := lo; i < hi; i++ {
+			runOne(workers[0], i)
+		}
+		return
+	}
+	// Work stealing via a shared atomic cursor: fast workers drain the
+	// round; index-owned slots keep the outcome schedule-independent.
+	var next atomic.Int64
+	next.Store(int64(lo))
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(r Replicator) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= hi {
+					return
+				}
+				runOne(r, i)
+			}
+		}(workers[w])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,207 @@
+package replicate
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"selfishmac/internal/rng"
+)
+
+// noisyMetric is a deterministic pseudo-measurement: mean 10 plus
+// seed-derived noise, so replications are reproducible but distinct.
+func noisyMetric(seed uint64, spread float64) float64 {
+	src := rng.New(seed)
+	return 10 + spread*(src.Float64()-0.5)
+}
+
+func twoMetricFunc(spread float64) Func {
+	return func(seed uint64, out []float64) error {
+		out[0] = noisyMetric(seed, spread)
+		out[1] = -2 * noisyMetric(seed^0xabcd, spread)
+		return nil
+	}
+}
+
+// TestWorkerCountBitIdentity is the controller's core contract: the full
+// Result — reps, rounds, convergence flag and every merged moment — must
+// be bit-identical at workers 1, 2, 4 and 8, for fixed and adaptive plans.
+func TestWorkerCountBitIdentity(t *testing.T) {
+	plans := []Plan{
+		FixedPlan(3, "t.fixed", 2, 17, 0),
+		{BaseSeed: 3, Stream: "t.adapt", Metrics: 2, Target: 0,
+			RelTolerance: 0.01, MinReps: 3, MaxReps: 40, BatchSize: 4},
+		{BaseSeed: 9, Stream: "t.abs", Metrics: 2, Target: 1,
+			Tolerance: 0.05, MinReps: 2, MaxReps: 64, BatchSize: 5},
+	}
+	for pi, base := range plans {
+		var want *Result
+		for _, workers := range []int{1, 2, 4, 8} {
+			p := base
+			p.Workers = workers
+			got, err := RunFunc(p, twoMetricFunc(4))
+			if err != nil {
+				t.Fatalf("plan %d workers %d: %v", pi, workers, err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if got.Reps != want.Reps || got.Rounds != want.Rounds || got.Converged != want.Converged {
+				t.Fatalf("plan %d workers %d: schedule diverged: reps %d/%d rounds %d/%d converged %v/%v",
+					pi, workers, got.Reps, want.Reps, got.Rounds, want.Rounds, got.Converged, want.Converged)
+			}
+			for m := range got.Moments {
+				if got.Moments[m] != want.Moments[m] {
+					t.Fatalf("plan %d workers %d metric %d: moments diverged: %+v vs %+v",
+						pi, workers, m, got.Summary(m), want.Summary(m))
+				}
+			}
+		}
+	}
+}
+
+// A fixed-R plan runs exactly MaxReps replications in one round and never
+// reports convergence.
+func TestFixedPlanRunsExactly(t *testing.T) {
+	var calls atomic.Int64
+	res, err := RunFunc(FixedPlan(1, "t.count", 1, 13, 4), func(seed uint64, out []float64) error {
+		calls.Add(1)
+		out[0] = noisyMetric(seed, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps != 13 || calls.Load() != 13 || res.Rounds != 1 || res.Converged {
+		t.Fatalf("fixed plan ran %d reps (%d calls, %d rounds, converged=%v), want exactly 13 in one round",
+			res.Reps, calls.Load(), res.Rounds, res.Converged)
+	}
+	if res.Moments[0].N() != 13 {
+		t.Fatalf("moments folded %d samples, want 13", res.Moments[0].N())
+	}
+}
+
+// Adaptive stopping: low-variance measurements stop at the first decision
+// point; high-variance ones run to MaxReps without convergence; and the
+// tolerance is actually honored at the stopping point.
+func TestAdaptiveStopping(t *testing.T) {
+	base := Plan{BaseSeed: 5, Stream: "t.stop", Metrics: 1, Target: 0,
+		RelTolerance: 0.02, MinReps: 3, MaxReps: 30, BatchSize: 4, Workers: 2}
+
+	quiet, err := RunFunc(base, func(seed uint64, out []float64) error {
+		out[0] = noisyMetric(seed, 0.01) // CI≈1e-3 ≪ 2% of 10
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quiet.Converged || quiet.Reps != base.MinReps {
+		t.Fatalf("quiet metric: reps %d converged %v, want stop at MinReps=%d",
+			quiet.Reps, quiet.Converged, base.MinReps)
+	}
+	if ci := quiet.CI95(0); ci > base.RelTolerance*quiet.Mean(0) {
+		t.Fatalf("reported convergence with CI %g above tolerance", ci)
+	}
+
+	loud, err := RunFunc(base, func(seed uint64, out []float64) error {
+		out[0] = noisyMetric(seed, 50) // CI stays way above 2% of 10
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loud.Converged || loud.Reps != base.MaxReps {
+		t.Fatalf("loud metric: reps %d converged %v, want MaxReps=%d without convergence",
+			loud.Reps, loud.Converged, base.MaxReps)
+	}
+
+	// Intermediate variance must stop strictly between the bounds at a
+	// round boundary (MinReps + k*BatchSize).
+	mid, err := RunFunc(base, func(seed uint64, out []float64) error {
+		out[0] = noisyMetric(seed, 1.2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mid.Converged || mid.Reps <= base.MinReps || mid.Reps >= base.MaxReps {
+		t.Fatalf("mid metric: reps %d converged %v, want a stop strictly inside (%d, %d)",
+			mid.Reps, mid.Converged, base.MinReps, base.MaxReps)
+	}
+	if off := (mid.Reps - base.MinReps) % base.BatchSize; off != 0 {
+		t.Fatalf("stop at %d reps is not a round boundary (MinReps=%d, BatchSize=%d)",
+			mid.Reps, base.MinReps, base.BatchSize)
+	}
+}
+
+// The lowest-index error wins, deterministically, at any worker count.
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := RunFunc(FixedPlan(1, "t.err", 1, 10, workers), func(seed uint64, out []float64) error {
+			// Replications 3 and 7 fail (identified via their seeds).
+			if seed == rng.DeriveSeed(1, "t.err", 3) || seed == rng.DeriveSeed(1, "t.err", 7) {
+				return boom
+			}
+			out[0] = 1
+			return nil
+		})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("workers %d: error not propagated: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "replication 3") {
+			t.Fatalf("workers %d: expected lowest-index error (replication 3), got %v", workers, err)
+		}
+	}
+}
+
+// Each worker must get its own Replicator, built exactly once.
+func TestFactoryPerWorker(t *testing.T) {
+	var built atomic.Int64
+	p := FixedPlan(1, "t.factory", 1, 20, 4)
+	_, err := Run(p, func() (Replicator, error) {
+		built.Add(1)
+		return Func(func(seed uint64, out []float64) error {
+			out[0] = noisyMetric(seed, 1)
+			return nil
+		}), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Load() != 4 {
+		t.Fatalf("factory built %d replicators, want 4 (one per worker)", built.Load())
+	}
+	factoryErr := errors.New("no engine")
+	if _, err := Run(p, func() (Replicator, error) { return nil, factoryErr }); !errors.Is(err, factoryErr) {
+		t.Fatalf("factory error not propagated: %v", err)
+	}
+}
+
+// Plan validation rejects unusable shapes.
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Metrics: 0, MaxReps: 3},
+		{Metrics: 2, Target: 2, MaxReps: 3},
+		{Metrics: 1, MaxReps: 0},
+		{Metrics: 1, MaxReps: 3, MinReps: -1},
+		{Metrics: 1, MaxReps: 3, Tolerance: -0.1},
+	}
+	for i, p := range bad {
+		if _, err := RunFunc(p, func(uint64, []float64) error { return nil }); err == nil {
+			t.Errorf("plan %d accepted: %+v", i, p)
+		}
+	}
+	// MaxReps=1 with a tolerance: no CI is ever computable; the plan must
+	// still terminate after its single replication.
+	res, err := RunFunc(Plan{Metrics: 1, MaxReps: 1, RelTolerance: 0.1, Stream: "t.one"},
+		func(seed uint64, out []float64) error { out[0] = 1; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps != 1 || res.Converged {
+		t.Fatalf("degenerate adaptive plan: reps %d converged %v, want 1 rep, no convergence", res.Reps, res.Converged)
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"selfishmac/internal/rng"
+)
+
+// mergeTol is the agreement required between merged-split moments and the
+// single-stream accumulator: the pairwise combination is algebraically
+// exact, so only float rounding separates them.
+const mergeTol = 1e-12
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*math.Max(scale, 1)
+}
+
+// TestMergeEqualsSingleStream is the property test: for random sample sets
+// and every split point, Merge(prefix, suffix) must reproduce the
+// single-stream moments to 1e-12 (and min/max/count exactly).
+func TestMergeEqualsSingleStream(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + src.Intn(60)
+		xs := make([]float64, n)
+		scale := math.Pow(10, float64(src.Intn(7))-3) // spreads across magnitudes
+		for i := range xs {
+			xs[i] = scale * (src.NormFloat64() + 5*src.Float64())
+		}
+		var whole Welford
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for split := 0; split <= n; split++ {
+			var a, b Welford
+			for _, x := range xs[:split] {
+				a.Add(x)
+			}
+			for _, x := range xs[split:] {
+				b.Add(x)
+			}
+			a.Merge(b)
+			if a.N() != whole.N() {
+				t.Fatalf("trial %d split %d: N = %d, want %d", trial, split, a.N(), whole.N())
+			}
+			if a.Min() != whole.Min() || a.Max() != whole.Max() {
+				t.Fatalf("trial %d split %d: min/max (%g, %g) != (%g, %g)",
+					trial, split, a.Min(), a.Max(), whole.Min(), whole.Max())
+			}
+			if !relClose(a.Mean(), whole.Mean(), mergeTol) {
+				t.Fatalf("trial %d split %d: mean %g != %g", trial, split, a.Mean(), whole.Mean())
+			}
+			if !relClose(a.Variance(), whole.Variance(), mergeTol) {
+				t.Fatalf("trial %d split %d: variance %g != %g", trial, split, a.Variance(), whole.Variance())
+			}
+		}
+	}
+}
+
+// Merging many blocks pairwise in sequence (the replication controller's
+// round-by-round fold) must also match the single stream.
+func TestMergeManyBlocks(t *testing.T) {
+	src := rng.New(7)
+	xs := make([]float64, 97)
+	for i := range xs {
+		xs[i] = src.UniformRange(-3, 9)
+	}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var acc Welford
+	for lo := 0; lo < len(xs); {
+		hi := lo + 1 + src.Intn(13)
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		var blk Welford
+		for _, x := range xs[lo:hi] {
+			blk.Add(x)
+		}
+		acc.Merge(blk)
+		lo = hi
+	}
+	if acc.N() != whole.N() || acc.Min() != whole.Min() || acc.Max() != whole.Max() {
+		t.Fatalf("counts/extrema diverged: %+v vs %+v", acc.Snapshot(), whole.Snapshot())
+	}
+	if !relClose(acc.Mean(), whole.Mean(), mergeTol) || !relClose(acc.Variance(), whole.Variance(), mergeTol) {
+		t.Fatalf("moments diverged: %+v vs %+v", acc.Snapshot(), whole.Snapshot())
+	}
+}
+
+// Empty operands are identities in both positions — including min/max,
+// which a naive merge would clobber with the empty accumulator's zeros.
+func TestMergeEmptyIdentity(t *testing.T) {
+	var a Welford
+	a.Add(3)
+	a.Add(5)
+	before := a.Snapshot()
+	a.Merge(Welford{})
+	if a.Snapshot() != before {
+		t.Fatalf("merging an empty accumulator changed the result: %+v vs %+v", a.Snapshot(), before)
+	}
+	var empty Welford
+	var b Welford
+	b.Add(-2)
+	b.Add(4)
+	empty.Merge(b)
+	if empty.Snapshot() != b.Snapshot() {
+		t.Fatalf("merge into empty lost state: %+v vs %+v", empty.Snapshot(), b.Snapshot())
+	}
+	if empty.Min() != -2 || empty.Max() != 4 {
+		t.Fatalf("merge into empty lost extrema: min %g max %g", empty.Min(), empty.Max())
+	}
+}

@@ -37,6 +37,34 @@ func (w *Welford) Add(x float64) {
 	w.m2 += delta * (x - w.mean)
 }
 
+// Merge folds another accumulator into w using the pairwise combination
+// of Chan, Golub & LeVeque, so moments accumulated over disjoint splits
+// of a sample agree with the single-stream result up to rounding. It is
+// the building block of the parallel replication controller
+// (internal/replicate): per-replica moments merge in a fixed order,
+// making the merged statistics independent of worker count.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	nA, nB := float64(w.n), float64(o.n)
+	total := nA + nB
+	delta := o.mean - w.mean
+	w.mean += delta * nB / total
+	w.m2 += o.m2 + delta*delta*nA*nB/total
+	w.n += o.n
+}
+
 // N returns the number of samples.
 func (w *Welford) N() int { return w.n }
 
