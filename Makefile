@@ -23,12 +23,14 @@ test: vet
 
 # Differential equivalence: the event-skipping engines must reproduce
 # the reference loops bit for bit across the whole config matrix
-# (heterogeneous CW, per-node frame times, mobility, churn), and the
-# replication layer must reproduce hand-written serial loops moment for
-# moment at every worker count. Already part of `go test ./...`; this
-# target runs just the matrix, verbosely.
+# (heterogeneous CW, per-node frame times, mobility, churn, 500/1000-node
+# grid-index paths), the grid spatial index must match the brute-force
+# O(n²) scan element for element, and the replication layer must
+# reproduce hand-written serial loops moment for moment at every worker
+# count. Already part of `go test ./...`; this target runs just the
+# matrix, verbosely.
 test-diff:
-	go test -run='^TestDifferential' -v ./internal/macsim ./internal/multihop ./internal/replicate
+	go test -run='^TestDifferential' -v ./internal/macsim ./internal/multihop ./internal/replicate ./internal/topology
 
 # `go test -fuzz` takes one target per invocation, so run them one by one.
 test-fuzz:

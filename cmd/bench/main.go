@@ -16,9 +16,10 @@
 // is forwarded to the testing package (e.g. "100ms" or "5x").
 //
 // Events are channel events for macsim (success + collision busy
-// periods) and transmission attempts for multihop; both engines of a
-// scenario simulate the identical (bit-for-bit) trajectory, so their
-// event counts match and events/sec is directly comparable.
+// periods), transmission attempts for multihop, and directed links for
+// the topology adjacency-build scenarios; both engines of a scenario
+// simulate the identical (bit-for-bit) trajectory, so their event
+// counts match and events/sec is directly comparable.
 package main
 
 import (
@@ -155,6 +156,34 @@ func multihopScenario(name string, topoCfg topology.Config, cfg multihop.SimConf
 	}, nil
 }
 
+// adjacencyScenario measures the topology-layer neighbor build alone:
+// the cell-grid refill into reused buffers (fast) vs the pinned O(n²)
+// linear scan (reference). Queries are read-only, so one network serves
+// every iteration; events counts directed links built per op.
+func adjacencyScenario(name string, topoCfg topology.Config) (scenario, error) {
+	nw, err := topology.New(topoCfg)
+	if err != nil {
+		return scenario{}, err
+	}
+	var events int64
+	for _, l := range nw.BruteForceAdjacencyLists() {
+		events += int64(len(l))
+	}
+	var buf [][]int
+	return scenario{
+		name:   name,
+		events: events,
+		runFast: func() error {
+			buf = nw.AdjacencyInto(buf)
+			return nil
+		},
+		runRef: func() error {
+			nw.BruteForceAdjacencyLists()
+			return nil
+		},
+	}, nil
+}
+
 // scenarios assembles the suite. quick shrinks simulated durations; the
 // default profile is paper-faithful (1000 s single-hop runs in the NE
 // tables use the same engine; here 20 s keeps a full bench under a few
@@ -193,6 +222,47 @@ func scenarios(quick bool) ([]scenario, error) {
 	mob.CW = uniformCW(26, paper.N)
 	mob.MobilityEvery = 1e6
 	s, err = multihopScenario("multihop/mobile-n100-w26", paper, mob)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+
+	// Large-n grid scenarios: the paper's density (100 nodes in 1000 m² at
+	// Range 250) held constant by growing the area with sqrt(n/100), so
+	// mean degree stays ~20 while the grid gains real cells to prune.
+	// Shorter stage durations keep the reference loop — O(n) work per
+	// slot — tractable at these sizes.
+	mh500, mh1000 := 5e6, 2e6
+	if quick {
+		mh500, mh1000 = 5e5, 2e5
+	}
+	big := topology.Config{N: 500, Width: 2236, Height: 2236, Range: 250, MaxSpeed: 5, Seed: 17}
+	cfg500 := multihop.DefaultSimConfig(mh500, 17)
+	cfg500.CW = uniformCW(26, 500)
+	cfg500.MobilityEvery = 1e6
+	s, err = multihopScenario("multihop/mobile-n500-w26", big, cfg500)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+	huge := topology.Config{N: 1000, Width: 3162, Height: 3162, Range: 250, MaxSpeed: 5, Seed: 19}
+	cfg1000 := multihop.DefaultSimConfig(mh1000, 19)
+	cfg1000.CW = uniformCW(26, 1000)
+	cfg1000.MobilityEvery = 5e5
+	s, err = multihopScenario("multihop/mobile-n1000-w26", huge, cfg1000)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+
+	// The adjacency build in isolation: how much of the n² the grid
+	// actually removes at these populations.
+	s, err = adjacencyScenario("topology/adjacency-n500", big)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+	s, err = adjacencyScenario("topology/adjacency-n1000", huge)
 	if err != nil {
 		return nil, err
 	}

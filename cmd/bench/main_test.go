@@ -31,6 +31,10 @@ func TestBenchWritesJSON(t *testing.T) {
 		"macsim/basic-n50-w879",
 		"multihop/sparse-n50-w116",
 		"multihop/mobile-n100-w26",
+		"multihop/mobile-n500-w26",
+		"multihop/mobile-n1000-w26",
+		"topology/adjacency-n500",
+		"topology/adjacency-n1000",
 	}
 	if len(f.Benchmarks) != 2*len(wantScenarios) {
 		t.Fatalf("got %d benchmark entries, want %d", len(f.Benchmarks), 2*len(wantScenarios))

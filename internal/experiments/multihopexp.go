@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"selfishmac/internal/core"
@@ -13,6 +14,22 @@ import (
 	"selfishmac/internal/topology"
 )
 
+// paperTopoConfig returns the Section VII topology for s: the paper's
+// 100-node layout, with the area grown by sqrt(n/100) when the node
+// count is raised above 100 so density — and hence mean degree — stays
+// at the paper's operating point instead of collapsing the larger
+// population into a single collision domain.
+func paperTopoConfig(s Settings, stream string) topology.Config {
+	cfg := topology.PaperConfig(rng.DeriveSeed(s.Seed, stream, 0))
+	cfg.N = s.MultihopNodes
+	if s.MultihopNodes > 100 {
+		scale := math.Sqrt(float64(s.MultihopNodes) / 100)
+		cfg.Width *= scale
+		cfg.Height *= scale
+	}
+	return cfg
+}
+
 // MultihopQuasiOptimality reproduces Section VII.B: the paper's 100-node
 // mobile scenario (1000x1000 m, 250 m range, random waypoint at up to
 // 5 m/s). It computes each node's local efficient-NE CW, the TFT-converged
@@ -23,9 +40,7 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	topoCfg := topology.PaperConfig(rng.DeriveSeed(s.Seed, "M1.topology", 0))
-	topoCfg.N = s.MultihopNodes
-	nw, err := topology.New(topoCfg)
+	nw, err := topology.New(paperTopoConfig(s, "M1.topology"))
 	if err != nil {
 		return nil, err
 	}
@@ -158,9 +173,7 @@ func HiddenNodeInvariance(s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	topoCfg := topology.PaperConfig(rng.DeriveSeed(s.Seed, "M2.topology", 0))
-	topoCfg.N = s.MultihopNodes
-	nw, err := topology.New(topoCfg)
+	nw, err := topology.New(paperTopoConfig(s, "M2.topology"))
 	if err != nil {
 		return nil, err
 	}

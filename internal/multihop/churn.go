@@ -88,27 +88,65 @@ func (st *churnState) step() {
 // maskedTopology presents a base topology with departed nodes removed:
 // they keep their index (profiles stay length-n) but have no links, so
 // the spatial simulator leaves them idle.
+//
+// AdjacencyLists filters node by node against the base — via the base's
+// NeighborAppender fast path when available (the grid-backed network),
+// so the full base adjacency is never materialised — into buffers the
+// view owns and reuses across calls. One maskedTopology therefore serves
+// every churn stage of an engine run with no per-stage adjacency
+// allocations in steady state. The returned structure is valid until the
+// next AdjacencyLists call; a maskedTopology is not safe for concurrent
+// use.
 type maskedTopology struct {
 	base   Topology
 	active []bool
+	adj    [][]int // returned view: nil entries for departed/link-less nodes
+	bufs   [][]int // per-node append buffers; capacity persists across refills
 }
 
 func (m *maskedTopology) N() int { return m.base.N() }
 
 func (m *maskedTopology) AdjacencyLists() [][]int {
-	full := m.base.AdjacencyLists()
-	out := make([][]int, len(full))
-	for i, neigh := range full {
+	n := m.base.N()
+	if len(m.adj) != n {
+		m.adj = make([][]int, n)
+		m.bufs = make([][]int, n)
+	}
+	app, canAppend := m.base.(NeighborAppender)
+	var full [][]int
+	if !canAppend {
+		full = m.base.AdjacencyLists()
+	}
+	for i := 0; i < n; i++ {
 		if !m.active[i] {
-			continue // departed: no links (nil adjacency)
+			m.adj[i] = nil // departed: no links
+			continue
 		}
-		for _, j := range neigh {
-			if m.active[j] {
-				out[i] = append(out[i], j)
+		buf := m.bufs[i][:0]
+		if canAppend {
+			buf = app.AppendNeighbors(i, buf)
+			kept := buf[:0]
+			for _, j := range buf {
+				if m.active[j] {
+					kept = append(kept, j)
+				}
+			}
+			buf = kept
+		} else {
+			for _, j := range full[i] {
+				if m.active[j] {
+					buf = append(buf, j)
+				}
 			}
 		}
+		m.bufs[i] = buf
+		if len(buf) == 0 {
+			m.adj[i] = nil
+		} else {
+			m.adj[i] = buf
+		}
 	}
-	return out
+	return m.adj
 }
 
 func (m *maskedTopology) IsLink(i, j int) bool {

@@ -6,6 +6,7 @@ import (
 
 	"selfishmac/internal/core"
 	"selfishmac/internal/phy"
+	"selfishmac/internal/rng"
 	"selfishmac/internal/topology"
 )
 
@@ -37,9 +38,13 @@ func simCfg(mode phy.AccessMode, cw []int, dur float64, seed uint64) SimConfig {
 }
 
 func randomNetwork(t *testing.T, n int, rangeM float64, seed uint64) *topology.Network {
+	return randomNetworkSized(t, n, 1000, 1000, rangeM, seed)
+}
+
+func randomNetworkSized(t *testing.T, n int, w, h, rangeM float64, seed uint64) *topology.Network {
 	t.Helper()
 	nw, err := topology.New(topology.Config{
-		N: n, Width: 1000, Height: 1000, Range: rangeM,
+		N: n, Width: w, Height: h, Range: rangeM,
 		MinSpeed: 0, MaxSpeed: 5, Seed: seed,
 	})
 	if err != nil {
@@ -81,6 +86,23 @@ func diffCases(t *testing.T) []diffCase {
 	}
 	mask8 := []bool{true, false, true, true, false, false, true, true}
 
+	// Large-n factories keep the paper's density (100 nodes / 1000m²
+	// at Range 250) by growing the area with sqrt(n/100), so the grid
+	// has many cells and real pruning work to do.
+	sparse500 := func(t *testing.T) Topology { return randomNetworkSized(t, 500, 2236, 2236, 250, 24) }
+	mobile500 := func(t *testing.T) Topology { return randomNetworkSized(t, 500, 2236, 2236, 250, 25) }
+	mobile1000 := func(t *testing.T) Topology { return randomNetworkSized(t, 1000, 3162, 3162, 250, 26) }
+	// Range wider than either dimension collapses the grid to one cell;
+	// the merge path must still match the linear scan exactly.
+	bigRange := func(t *testing.T) Topology { return randomNetworkSized(t, 12, 1000, 600, 1500, 27) }
+	mask300 := make([]bool, 300)
+	for i := range mask300 {
+		mask300[i] = i%4 != 1 // a quarter departed
+	}
+	churnMasked300 := func(t *testing.T) Topology {
+		return &maskedTopology{base: randomNetworkSized(t, 300, 1732, 1732, 250, 28), active: mask300}
+	}
+
 	mob := func(cfg SimConfig, every float64) SimConfig {
 		cfg.MobilityEvery = every
 		return cfg
@@ -104,6 +126,14 @@ func diffCases(t *testing.T) []diffCase {
 		{"churn-masked-8", churnMasked(mask8, 16), simCfg(phy.Basic, []int{16, 32, 8, 64, 16, 128, 24, 48}, 2e6, 14)},
 		{"degenerate-w1", hiddenTriple, simCfg(phy.RTSCTS, uniformCW(1, 3), 1e6, 17)},
 		{"short-run", line, simCfg(phy.RTSCTS, uniformCW(64, 5), 200, 18)},
+		// Grid-index paths at scale: large-n networks route every
+		// adjacency snapshot (static, mobile re-snapshots, churn filters)
+		// through the cell grid; the reference loop pins the trajectory.
+		{"sparse500-static", sparse500, simCfg(phy.RTSCTS, uniformCW(64, 500), 5e5, 24)},
+		{"mobile500", mobile500, mob(simCfg(phy.RTSCTS, uniformCW(32, 500), 2e5, 25), 5e4)},
+		{"mobile1000-grid", mobile1000, mob(simCfg(phy.RTSCTS, uniformCW(26, 1000), 1e5, 26), 2e4)},
+		{"range-exceeds-area", bigRange, simCfg(phy.RTSCTS, uniformCW(48, 12), 1e6, 27)},
+		{"churn-masked-300", churnMasked300, simCfg(phy.RTSCTS, uniformCW(64, 300), 2e5, 28)},
 	}
 }
 
@@ -201,7 +231,7 @@ func TestDifferentialEngineStagesWithChurn(t *testing.T) {
 		}
 		scfg := sim
 		scfg.CW = stage.Profile
-		scfg.Seed = sim.Seed + uint64(k)*0x9e3779b97f4a7c15
+		scfg.Seed = rng.DeriveSeed(sim.Seed, "multihop.engine.stage", k)
 		res, err := SimulateReference(&maskedTopology{base: nw, active: stage.Active}, scfg)
 		if err != nil {
 			t.Fatal(err)

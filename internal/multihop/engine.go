@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"selfishmac/internal/core"
+	"selfishmac/internal/rng"
 )
 
 // Engine plays the multi-hop repeated game G' dynamically: each stage
@@ -117,6 +118,15 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 	observedBy := make([][][]int, n)
 	utilitiesOf := make([][]float64, n)
 
+	// Per-stage scratch, allocated once: the masked churn view filters
+	// into its own reusable buffers, and grid-backed topologies refill
+	// adjBuf instead of handing back fresh O(n) slices every stage.
+	var masked *maskedTopology
+	if churn != nil {
+		masked = &maskedTopology{base: e.nw}
+	}
+	var adjBuf [][]int
+
 	uniformRun, lastUniform := 0, 0
 	for k := 0; k < maxStages; k++ {
 		// Evolve membership and snapshot the stage's topology view.
@@ -125,11 +135,27 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 		if churn != nil {
 			churn.step()
 			active = append([]bool(nil), churn.active...)
-			nw = &maskedTopology{base: e.nw, active: active}
+			masked.active = active
+			nw = masked
 		}
-		adj := nw.AdjacencyLists()
+		var adj [][]int
+		if r, ok := nw.(AdjacencyReuser); ok {
+			adjBuf = r.AdjacencyInto(adjBuf)
+			adj = adjBuf
+		} else {
+			adj = nw.AdjacencyLists()
+		}
 
-		profile := make([]int, n)
+		// The trace and the observation history retain this stage's
+		// profile and every node's local view, so carve them out of one
+		// per-stage slab instead of 1+n separate allocations.
+		slabLen := n
+		for i := range adj {
+			slabLen += 1 + len(adj[i])
+		}
+		slab := make([]int, slabLen)
+		profile := slab[:n:n]
+		off := n
 		for i, s := range e.strategies {
 			w := s.ChooseCW(0, observedBy[i], utilitiesOf[i])
 			if w < 1 {
@@ -140,7 +166,10 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 
 		sim := e.sim
 		sim.CW = profile
-		sim.Seed = e.sim.Seed + uint64(k)*0x9e3779b97f4a7c15
+		// Per-stage seeds come from a named DeriveSeed stream, the one
+		// seed-derivation path of the repo: decorrelated across stages and
+		// never colliding with other stream families that share the base.
+		sim.Seed = rng.DeriveSeed(e.sim.Seed, "multihop.engine.stage", k)
 		res, err := Simulate(nw, sim)
 		if err != nil {
 			return nil, fmt.Errorf("multihop: stage %d: %w", k, err)
@@ -159,7 +188,9 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 		for i := range e.strategies {
 			// A departed node observes only itself; its neighbors do not
 			// see it either (adj is the masked view).
-			local := make([]int, 0, 1+len(adj[i]))
+			end := off + 1 + len(adj[i])
+			local := slab[off:off:end]
+			off = end
 			local = append(local, profile[i])
 			for _, j := range adj[i] {
 				local = append(local, profile[j])

@@ -81,7 +81,8 @@ func (st *simState) init(nw Topology, mobile MobileTopology, cfg SimConfig) {
 	st.inTx = make([]bool, n)
 	st.drawn = make([]int, n)
 	st.res.Nodes = make([]NodeStats, n)
-	st.adj = nw.AdjacencyLists()
+	st.adj = nil
+	st.snapshotAdj(nw)
 
 	st.tsSlots = int64(cfg.Timing.SlotsCeil(cfg.Timing.Ts))
 	st.tcSlots = int64(cfg.Timing.SlotsCeil(cfg.Timing.Tc))
@@ -97,6 +98,18 @@ func (st *simState) init(nw Topology, mobile MobileTopology, cfg SimConfig) {
 		}
 	}
 	st.reset(cfg.Seed)
+}
+
+// snapshotAdj refreshes st.adj from the topology. Grid-backed networks
+// (AdjacencyReuser) refill the state-owned buffers in place, so each
+// mobility re-snapshot costs O(n·deg) with no per-node allocations;
+// other topologies fall back to a fresh AdjacencyLists.
+func (st *simState) snapshotAdj(nw Topology) {
+	if r, ok := nw.(AdjacencyReuser); ok {
+		st.adj = r.AdjacencyInto(st.adj)
+		return
+	}
+	st.adj = nw.AdjacencyLists()
 }
 
 // reset restores the initial trajectory state for the given seed: PRNG
@@ -148,7 +161,8 @@ func (st *simState) run() (*SimResult, error) {
 				if err := st.mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
 					return nil, fmt.Errorf("multihop: mobility step: %w", err)
 				}
-				adj = st.mobile.AdjacencyLists()
+				st.snapshotAdj(st.mobile)
+				adj = st.adj
 				nextMobility += st.mobilityEverySlots
 			}
 			break
@@ -159,7 +173,8 @@ func (st *simState) run() (*SimResult, error) {
 			if err := st.mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
 				return nil, fmt.Errorf("multihop: mobility step: %w", err)
 			}
-			adj = st.mobile.AdjacencyLists()
+			st.snapshotAdj(st.mobile)
+			adj = st.adj
 			nextMobility += st.mobilityEverySlots
 		}
 

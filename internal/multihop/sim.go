@@ -43,6 +43,26 @@ type MobileTopology interface {
 	Step(dt float64) error
 }
 
+// NeighborAppender is an optional fast path a Topology may implement:
+// AppendNeighbors appends node i's neighbors to buf — in the same
+// ascending index order AdjacencyLists uses — and returns the extended
+// slice. maskedTopology uses it to filter churn views node by node
+// without materialising the full base adjacency. *topology.Network
+// implements it over its grid index.
+type NeighborAppender interface {
+	AppendNeighbors(i int, buf []int) []int
+}
+
+// AdjacencyReuser is an optional refill fast path: AdjacencyInto fills
+// dst with the adjacency structure, reusing dst's per-node slices, and
+// returns it. The engines use it so mobility re-snapshots and repeated
+// stage snapshots refill one owned buffer instead of allocating O(n)
+// slices each time. Contents and ordering must be identical to
+// AdjacencyLists; *topology.Network implements it.
+type AdjacencyReuser interface {
+	AdjacencyInto(dst [][]int) [][]int
+}
+
 // SimConfig parameterises one spatial simulation run.
 type SimConfig struct {
 	// Timing carries sigma, Ts, Tc, E[P]; the paper's multi-hop analysis

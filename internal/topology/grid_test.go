@@ -1,0 +1,240 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// grid_test.go pins the cell-indexed neighbor queries element-for-element
+// to the brute-force O(n²) scan: same membership AND same (ascending)
+// order, across random configurations, cell-boundary placements,
+// Range > Width degenerate grids, and positions mutated by Step under
+// mobility. The multihop differential matrix relies on this equivalence
+// to keep Simulate byte-identical to SimulateReference.
+
+// bruteNeighbors derives one node's neighbor list from the pinned
+// brute-force reference.
+func bruteNeighbors(nw *Network, i int) []int {
+	return nw.BruteForceAdjacencyLists()[i]
+}
+
+// bruteHidden recomputes HiddenNodes from the brute-force scan.
+func bruteHidden(nw *Network, t, r int) []int {
+	var out []int
+	for _, h := range bruteNeighbors(nw, r) {
+		if h != t && !nw.IsLink(t, h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// checkGridAgainstBrute asserts every query path agrees with the brute
+// scan on the network's current snapshot.
+func checkGridAgainstBrute(t *testing.T, nw *Network) {
+	t.Helper()
+	brute := nw.BruteForceAdjacencyLists()
+	adj := nw.AdjacencyLists()
+	for i := 0; i < nw.N(); i++ {
+		if !reflect.DeepEqual(adj[i], brute[i]) {
+			t.Fatalf("node %d: grid adjacency %v != brute %v", i, adj[i], brute[i])
+		}
+		if got := nw.Neighbors(i); !reflect.DeepEqual(got, brute[i]) {
+			t.Fatalf("node %d: grid Neighbors %v != brute %v", i, got, brute[i])
+		}
+		if d := nw.Degree(i); d != len(brute[i]) {
+			t.Fatalf("node %d: grid degree %d != brute %d", i, d, len(brute[i]))
+		}
+	}
+	// Hidden-terminal sets run over the grid path too.
+	for i := 0; i < nw.N() && i < 5; i++ {
+		for _, r := range brute[i] {
+			if got, want := nw.HiddenNodes(i, r), bruteHidden(nw, i, r); !reflect.DeepEqual(got, want) {
+				t.Fatalf("hidden(%d->%d): grid %v != brute %v", i, r, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialGridMatchesBruteForce sweeps a matrix of configurations
+// — sparse, dense, tall/thin areas, Range larger than either dimension
+// (single-cell grid), single node — and checks the static snapshot plus a
+// sequence of mobility steps that force incremental cell moves.
+func TestDifferentialGridMatchesBruteForce(t *testing.T) {
+	cfgs := []Config{
+		{N: 100, Width: 1000, Height: 1000, Range: 250, MinSpeed: 0, MaxSpeed: 5},
+		{N: 50, Width: 1000, Height: 1000, Range: 180, MinSpeed: 1, MaxSpeed: 10},
+		{N: 40, Width: 2000, Height: 100, Range: 150, MinSpeed: 0, MaxSpeed: 20, Pause: 2},
+		{N: 30, Width: 300, Height: 300, Range: 500, MinSpeed: 0, MaxSpeed: 5},  // Range > Width: one cell
+		{N: 25, Width: 100, Height: 900, Range: 120, MinSpeed: 0, MaxSpeed: 3},  // 1 column, many rows
+		{N: 12, Width: 1000, Height: 1000, Range: 90, MinSpeed: 0, MaxSpeed: 5}, // mostly empty cells
+		{N: 1, Width: 50, Height: 50, Range: 25, MinSpeed: 0, MaxSpeed: 1},
+		{N: 200, Width: 1414, Height: 1414, Range: 250, MinSpeed: 0, MaxSpeed: 5},
+	}
+	for ci, cfg := range cfgs {
+		for seed := uint64(0); seed < 3; seed++ {
+			cfg.Seed = seed*97 + uint64(ci)
+			nw, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGridAgainstBrute(t, nw)
+			// Mobility: long steps so nodes cross cells and finish legs.
+			for s := 0; s < 6; s++ {
+				if err := nw.Step(37); err != nil {
+					t.Fatal(err)
+				}
+				checkGridAgainstBrute(t, nw)
+			}
+		}
+	}
+}
+
+// TestDifferentialGridCellBoundaries places nodes exactly on cell
+// boundaries — multiples of the cell extent, the area edges, and the far
+// corner (X == Width, which must clamp into the last column).
+func TestDifferentialGridCellBoundaries(t *testing.T) {
+	cfg := Config{N: 12, Width: 1000, Height: 1000, Range: 250, Seed: 1}
+	nw := mustNetwork(t, cfg)
+	pts := []Point{
+		{0, 0}, {250, 0}, {500, 0}, {750, 0}, {1000, 0},
+		{0, 250}, {250, 250}, {1000, 250},
+		{0, 1000}, {500, 500}, {1000, 1000}, {250, 750},
+	}
+	if err := nw.SetPositions(pts); err != nil {
+		t.Fatal(err)
+	}
+	checkGridAgainstBrute(t, nw)
+	// Boundary nodes at exact Range distance must be linked (<=, not <).
+	if !nw.IsLink(0, 1) {
+		t.Fatal("nodes at exactly Range distance must be neighbors")
+	}
+}
+
+// TestDifferentialGridProperty drives random (seed, steps) pairs through
+// the full query surface via testing/quick.
+func TestDifferentialGridProperty(t *testing.T) {
+	f := func(seed uint64, steps uint8, big bool) bool {
+		cfg := Config{N: 35, Width: 800, Height: 600, Range: 140, MinSpeed: 0, MaxSpeed: 12, Seed: seed}
+		if big {
+			cfg.Range = 900 // exceeds both dimensions: single-cell grid
+		}
+		nw, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < int(steps%8); s++ {
+			if err := nw.Step(11); err != nil {
+				return false
+			}
+		}
+		brute := nw.BruteForceAdjacencyLists()
+		adj := nw.AdjacencyLists()
+		for i := range adj {
+			if !reflect.DeepEqual(adj[i], brute[i]) || nw.Degree(i) != len(brute[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdjacencyIntoRefill pins the reusable snapshot path: refilling the
+// same buffer across mobility steps must match a fresh AdjacencyLists
+// element-for-element, and must not allocate per-node slices once warm.
+func TestAdjacencyIntoRefill(t *testing.T) {
+	nw := mustNetwork(t, PaperConfig(43))
+	var buf [][]int
+	for s := 0; s < 5; s++ {
+		buf = nw.AdjacencyInto(buf)
+		fresh := nw.AdjacencyLists()
+		for i := range fresh {
+			if len(buf[i]) != len(fresh[i]) {
+				t.Fatalf("step %d node %d: refill len %d != fresh %d", s, i, len(buf[i]), len(fresh[i]))
+			}
+			for k := range fresh[i] {
+				if buf[i][k] != fresh[i][k] {
+					t.Fatalf("step %d node %d: refill %v != fresh %v", s, i, buf[i], fresh[i])
+				}
+			}
+		}
+		if err := nw.Step(23); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm refills allocate nothing: capacities persist in the buffer.
+	if allocs := testing.AllocsPerRun(10, func() {
+		buf = nw.AdjacencyInto(buf)
+	}); allocs != 0 {
+		t.Fatalf("warm AdjacencyInto allocated %.1f objects per refill, want 0", allocs)
+	}
+}
+
+func TestSetPositionsValidates(t *testing.T) {
+	nw := mustNetwork(t, Config{N: 2, Width: 100, Height: 100, Range: 50, Seed: 1})
+	if err := nw.SetPositions([]Point{{0, 0}}); err == nil {
+		t.Fatal("wrong-length position set accepted")
+	}
+	if err := nw.SetPositions([]Point{{0, 0}, {101, 0}}); err == nil {
+		t.Fatal("out-of-area position accepted")
+	}
+	if err := nw.SetPositions([]Point{{0, 0}, {100, 100}}); err != nil {
+		t.Fatalf("boundary position rejected: %v", err)
+	}
+}
+
+// TestStepZeroSpeedLegDoesNotFreeze is the regression test for the
+// random-waypoint freeze: a node whose current leg carries speed exactly
+// 0 (reachable with the paper's MinSpeed = 0) used to dwell forever —
+// Step never advanced it and never started a new leg. Now Step replaces
+// the dead leg and the node keeps moving.
+func TestStepZeroSpeedLegDoesNotFreeze(t *testing.T) {
+	cfg := Config{N: 3, Width: 1000, Height: 1000, Range: 250, MinSpeed: 0, MaxSpeed: 5, Seed: 7}
+	nw := mustNetwork(t, cfg)
+	// Inject the pathological draw directly: a zero-speed leg toward a
+	// distant waypoint.
+	nw.speed[0] = 0
+	nw.waypoint[0] = Point{X: nw.cfg.Width - nw.pos[0].X, Y: nw.cfg.Height - nw.pos[0].Y}
+	before := nw.Position(0)
+	if err := nw.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if nw.speed[0] <= 0 {
+		t.Fatalf("zero-speed leg survived Step: speed %g", nw.speed[0])
+	}
+	if nw.Position(0) == before {
+		t.Fatal("node frozen: did not move during a 10 s step of a mobile network")
+	}
+	// The redrawn state must keep making progress leg after leg.
+	for s := 0; s < 20; s++ {
+		prev := nw.Position(0)
+		if err := nw.Step(60); err != nil {
+			t.Fatal(err)
+		}
+		if nw.Position(0) == prev {
+			t.Fatalf("node stalled again at step %d", s)
+		}
+	}
+}
+
+// Fresh legs must never carry non-positive speed in a mobile network.
+func TestLegSpeedPositive(t *testing.T) {
+	cfg := Config{N: 1, Width: 100, Height: 100, Range: 10, MinSpeed: 0, MaxSpeed: 5, Seed: 3}
+	nw := mustNetwork(t, cfg)
+	for k := 0; k < 1000; k++ {
+		nw.newLeg(0)
+		if nw.speed[0] <= 0 {
+			t.Fatalf("leg %d drew non-positive speed %g", k, nw.speed[0])
+		}
+	}
+	// Static networks keep zero speed by design.
+	static := mustNetwork(t, Config{N: 1, Width: 100, Height: 100, Range: 10, Seed: 3})
+	static.newLeg(0)
+	if static.speed[0] != 0 {
+		t.Fatalf("static network drew speed %g, want 0", static.speed[0])
+	}
+}

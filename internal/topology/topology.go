@@ -80,6 +80,9 @@ func (c Config) Validate() error {
 }
 
 // Network is a set of (possibly mobile) nodes with unit-disk links.
+// Neighbor queries run over a cell grid (grid.go): O(deg) per node
+// instead of the O(n) pairwise scan, with results in the same ascending
+// index order the linear scan produced.
 type Network struct {
 	cfg       Config
 	pos       []Point
@@ -87,6 +90,7 @@ type Network struct {
 	speed     []float64
 	pauseLeft []float64
 	src       *rng.Source
+	g         cellGrid
 }
 
 // New places cfg.N nodes uniformly at random and initialises their
@@ -107,6 +111,8 @@ func New(cfg Config) (*Network, error) {
 		nw.pos[i] = nw.randomPoint()
 		nw.newLeg(i)
 	}
+	nw.g.init(cfg)
+	nw.g.rebuild(nw.pos)
 	return nw, nil
 }
 
@@ -120,8 +126,21 @@ func (nw *Network) randomPoint() Point {
 // newLeg assigns node i a fresh waypoint and speed.
 func (nw *Network) newLeg(i int) {
 	nw.waypoint[i] = nw.randomPoint()
-	nw.speed[i] = nw.src.UniformRange(nw.cfg.MinSpeed, nw.cfg.MaxSpeed)
+	nw.speed[i] = nw.legSpeed()
 	nw.pauseLeft[i] = 0
+}
+
+// legSpeed draws a random-waypoint leg speed. A draw of exactly zero —
+// reachable with the paper's MinSpeed = 0 — is redrawn: a zero-speed leg
+// never reaches its waypoint, so the node would never start a new leg and
+// would stay frozen for the rest of the simulation. Static networks
+// (MaxSpeed = 0) keep speed 0 and never move by design.
+func (nw *Network) legSpeed() float64 {
+	sp := nw.src.UniformRange(nw.cfg.MinSpeed, nw.cfg.MaxSpeed)
+	for sp <= 0 && nw.cfg.MaxSpeed > 0 {
+		sp = nw.src.UniformRange(nw.cfg.MinSpeed, nw.cfg.MaxSpeed)
+	}
+	return sp
 }
 
 // N returns the node count.
@@ -160,10 +179,17 @@ func (nw *Network) Step(dt float64) error {
 			}
 			sp := nw.speed[i]
 			if sp <= 0 {
-				// Zero-speed leg: the node dwells until the next leg; to
-				// avoid an infinite loop treat it as pausing out the step.
-				remaining = 0
-				break
+				if nw.cfg.MaxSpeed <= 0 {
+					// Static network: nodes never move.
+					remaining = 0
+					break
+				}
+				// Defensive: a zero-speed leg in a mobile network can never
+				// reach its waypoint, so the node would freeze forever.
+				// legSpeed guarantees fresh legs are positive; replace a
+				// stale zero-speed leg and keep stepping.
+				nw.newLeg(i)
+				continue
 			}
 			dist := nw.pos[i].DistTo(nw.waypoint[i])
 			travel := sp * remaining
@@ -182,7 +208,29 @@ func (nw *Network) Step(dt float64) error {
 				}
 			}
 		}
+		// Incremental spatial-index maintenance: re-bucket the node only
+		// if its final position crossed a cell boundary.
+		nw.g.update(i, nw.pos[i])
 	}
+	return nil
+}
+
+// SetPositions replaces every node position (copying pts) and re-indexes
+// the spatial grid. Positions must lie inside the deployment area; the
+// waypoint state is unchanged, so mobility resumes toward the existing
+// waypoints. It exists for tests and fixed layouts.
+func (nw *Network) SetPositions(pts []Point) error {
+	if len(pts) != nw.cfg.N {
+		return fmt.Errorf("topology: %d positions for %d nodes", len(pts), nw.cfg.N)
+	}
+	for i, p := range pts {
+		if p.X < 0 || p.X > nw.cfg.Width || p.Y < 0 || p.Y > nw.cfg.Height {
+			return fmt.Errorf("topology: position %d (%g, %g) outside the %g x %g area",
+				i, p.X, p.Y, nw.cfg.Width, nw.cfg.Height)
+		}
+	}
+	copy(nw.pos, pts)
+	nw.g.rebuild(nw.pos)
 	return nil
 }
 
@@ -191,33 +239,107 @@ func (nw *Network) IsLink(i, j int) bool {
 	return i != j && nw.pos[i].DistTo(nw.pos[j]) <= nw.cfg.Range
 }
 
-// Neighbors returns the indices of node i's neighbors (fresh slice).
+// Neighbors returns the indices of node i's neighbors (fresh slice, in
+// ascending index order).
 func (nw *Network) Neighbors(i int) []int {
-	var out []int
-	for j := range nw.pos {
-		if nw.IsLink(i, j) {
-			out = append(out, j)
+	return nw.AppendNeighbors(i, nil)
+}
+
+// AppendNeighbors appends node i's neighbors to out in ascending index
+// order and returns the extended slice. It scans only the 3x3 cell block
+// around the node, filtering each candidate bucket sequentially and then
+// sorting the survivors — far fewer elements than the candidates — so
+// the output order matches the linear scan exactly. Reusing out across
+// calls makes the query allocation-free.
+func (nw *Network) AppendNeighbors(i int, out []int) []int {
+	var heads [9][]int
+	m := nw.g.neighborhood(nw.pos[i], &heads)
+	start := len(out)
+	for k := 0; k < m; k++ {
+		for _, j := range heads[k] {
+			if nw.IsLink(i, j) {
+				out = append(out, j)
+			}
 		}
 	}
+	sortNeighbors(out[start:])
 	return out
 }
 
 // Degree returns node i's neighbor count.
 func (nw *Network) Degree(i int) int {
+	var heads [9][]int
+	m := nw.g.neighborhood(nw.pos[i], &heads)
 	d := 0
-	for j := range nw.pos {
-		if nw.IsLink(i, j) {
-			d++
+	for k := 0; k < m; k++ {
+		for _, j := range heads[k] {
+			if nw.IsLink(i, j) {
+				d++
+			}
 		}
 	}
 	return d
 }
 
-// AdjacencyLists returns the full neighbor structure.
+// AdjacencyLists returns the full neighbor structure (fresh slices).
 func (nw *Network) AdjacencyLists() [][]int {
+	return nw.AdjacencyInto(nil)
+}
+
+// AdjacencyInto refills dst with the full neighbor structure and returns
+// it, reusing dst's per-node slices (truncated and re-appended, so their
+// capacity persists across snapshots). Passing the previous snapshot back
+// in makes repeated re-snapshots — mobility, churn stages — allocation-
+// free in steady state. Contents and ordering are identical to
+// AdjacencyLists.
+func (nw *Network) AdjacencyInto(dst [][]int) [][]int {
+	n := nw.cfg.N
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([][]int, n)
+	}
+	for i := range dst {
+		dst[i] = dst[i][:0] // nil rows stay nil: isolated nodes match brute force
+	}
+	// Symmetric build: node i only tests candidates j > i, recording each
+	// link in both directions. The j < i entries of row i were appended by
+	// the earlier iterations in ascending i order, so after sorting the
+	// fresh j > i suffix every row is fully ascending — identical to the
+	// per-node query — at half the distance checks.
+	var heads [9][]int
+	for i := 0; i < n; i++ {
+		m := nw.g.neighborhood(nw.pos[i], &heads)
+		start := len(dst[i])
+		for k := 0; k < m; k++ {
+			for _, j := range heads[k] {
+				if j > i && nw.IsLink(i, j) {
+					dst[i] = append(dst[i], j)
+				}
+			}
+		}
+		sortNeighbors(dst[i][start:])
+		for _, j := range dst[i][start:] {
+			dst[j] = append(dst[j], i)
+		}
+	}
+	return dst
+}
+
+// BruteForceAdjacencyLists rebuilds the adjacency with the original
+// O(n²) pairwise scan. It is retained as the pinned reference for the
+// grid index: the differential tests assert element-for-element equality
+// against it, and cmd/bench records the grid path's speedup over it.
+func (nw *Network) BruteForceAdjacencyLists() [][]int {
 	out := make([][]int, nw.cfg.N)
 	for i := range out {
-		out[i] = nw.Neighbors(i)
+		var nbrs []int
+		for j := range nw.pos {
+			if nw.IsLink(i, j) {
+				nbrs = append(nbrs, j)
+			}
+		}
+		out[i] = nbrs
 	}
 	return out
 }
@@ -229,14 +351,16 @@ func (nw *Network) Connected() bool {
 		return true
 	}
 	visited := make([]bool, n)
-	queue := []int{0}
+	queue := make([]int, 1, n)
+	var scratch []int
 	visited[0] = true
 	count := 1
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for v := 0; v < n; v++ {
-			if !visited[v] && nw.IsLink(u, v) {
+		scratch = nw.AppendNeighbors(u, scratch[:0])
+		for _, v := range scratch {
+			if !visited[v] {
 				visited[v] = true
 				count++
 				queue = append(queue, v)

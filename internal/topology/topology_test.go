@@ -128,12 +128,16 @@ func TestAdjacencyListsConsistent(t *testing.T) {
 func TestConnectedLine(t *testing.T) {
 	// Three nodes in a line at spacing 200 with range 250: connected.
 	nw := mustNetwork(t, Config{N: 3, Width: 1000, Height: 10, Range: 250, Seed: 1})
-	nw.pos = []Point{{0, 0}, {200, 0}, {400, 0}}
+	if err := nw.SetPositions([]Point{{0, 0}, {200, 0}, {400, 0}}); err != nil {
+		t.Fatal(err)
+	}
 	if !nw.Connected() {
 		t.Fatal("line network should be connected")
 	}
 	// Move the last node out of range of both others.
-	nw.pos[2] = Point{900, 0}
+	if err := nw.SetPositions([]Point{{0, 0}, {200, 0}, {900, 0}}); err != nil {
+		t.Fatal(err)
+	}
 	if nw.Connected() {
 		t.Fatal("split network reported connected")
 	}
@@ -149,7 +153,9 @@ func TestConnectedSingleNode(t *testing.T) {
 func TestHiddenNodes(t *testing.T) {
 	// t --- r --- h: h is hidden from t (in range of r, out of range of t).
 	nw := mustNetwork(t, Config{N: 3, Width: 1000, Height: 10, Range: 250, Seed: 1})
-	nw.pos = []Point{{0, 0}, {200, 0}, {400, 0}}
+	if err := nw.SetPositions([]Point{{0, 0}, {200, 0}, {400, 0}}); err != nil {
+		t.Fatal(err)
+	}
 	hidden := nw.HiddenNodes(0, 1)
 	if len(hidden) != 1 || hidden[0] != 2 {
 		t.Fatalf("hidden nodes for 0->1 = %v, want [2]", hidden)
