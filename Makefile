@@ -3,7 +3,7 @@
 # How long `test-fuzz` spends per fuzz target.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-diff test-fuzz test-race cover bench bench-quick bench-json bench-replicate experiments experiments-quick fmt
+.PHONY: all build vet test test-diff test-fuzz test-race smoke-daemon cover bench bench-quick bench-json bench-replicate experiments experiments-quick fmt
 
 all: build test test-race
 
@@ -45,6 +45,14 @@ test-fuzz:
 test-race:
 	go test -race ./...
 
+# End-to-end daemon smoke under the race detector: boots selfishmacd
+# in-process on an ephemeral port, runs a tiny replicate job to Done,
+# overflows the queue to 429, cancels a running job, and drains on
+# SIGTERM — plus the service package's own race-sensitive suite.
+smoke-daemon:
+	go test -race -run '^TestDaemonSmoke$$' -v ./cmd/selfishmacd
+	go test -race ./internal/service
+
 cover:
 	go test -cover ./...
 
@@ -65,9 +73,10 @@ bench-json:
 
 # Regenerate BENCH_replicate.json, the replication-layer trajectory:
 # fresh vs reused engine allocs/op, fixed-R wall-clock at 1/2/4/8
-# workers (speedup is bounded by GOMAXPROCS — the file records it), and
-# adaptive-vs-fixed replication counts. Commit the refreshed file with
-# any PR that touches internal/replicate or the engine lifecycles.
+# workers plus the honest workers=NumCPU saturation row (speedup is
+# bounded by GOMAXPROCS — the file records both), and adaptive-vs-fixed
+# replication counts. Commit the refreshed file with any PR that
+# touches internal/replicate or the engine lifecycles.
 bench-replicate:
 	go run ./cmd/bench -replicate -out BENCH_replicate.json
 

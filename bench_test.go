@@ -13,6 +13,7 @@ package selfishmac_test
 // full artifacts under results/.
 
 import (
+	"context"
 	"testing"
 
 	"selfishmac/internal/bianchi"
@@ -21,13 +22,13 @@ import (
 
 // runExperiment executes one experiment per benchmark iteration and
 // reports the chosen metrics.
-func runExperiment(b *testing.B, run func(experiments.Settings) (*experiments.Report, error), metrics ...string) {
+func runExperiment(b *testing.B, run func(context.Context, experiments.Settings) (*experiments.Report, error), metrics ...string) {
 	b.Helper()
 	s := experiments.QuickSettings()
 	var rep *experiments.Report
 	var err error
 	for i := 0; i < b.N; i++ {
-		rep, err = run(s)
+		rep, err = run(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,13 +187,13 @@ func BenchmarkDelayAnalysis(b *testing.B) {
 // grid size while misses/op approaches zero.
 func BenchmarkSolverCache(b *testing.B) {
 	s := experiments.QuickSettings()
-	if _, err := experiments.Figure2(s); err != nil { // warm the cache once
+	if _, err := experiments.Figure2(context.Background(), s); err != nil { // warm the cache once
 		b.Fatal(err)
 	}
 	h0, m0 := bianchi.CacheStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure2(s); err != nil {
+		if _, err := experiments.Figure2(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -209,7 +210,7 @@ func TestSolverCacheEffectiveness(t *testing.T) {
 	bianchi.ResetCache()
 	s := experiments.QuickSettings()
 	for round := 0; round < 3; round++ {
-		if _, err := experiments.Figure2(s); err != nil {
+		if _, err := experiments.Figure2(context.Background(), s); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -23,12 +23,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -39,7 +42,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "bench: interrupt — writing partial results (interrupt again to force exit)")
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "bench: second interrupt — exiting now")
+		os.Exit(130)
+	}()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
@@ -302,7 +317,7 @@ func measure(name, engine string, events int64, fn func() error) (EngineResult, 
 	return res, nil
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_sim.json", "output JSON file")
 	quick := fs.Bool("quick", false, "shrink simulated durations (smoke profile)")
@@ -321,7 +336,7 @@ func run(args []string) error {
 		if target == "BENCH_sim.json" {
 			target = "BENCH_replicate.json"
 		}
-		return runReplicate(target, *quick)
+		return runReplicate(ctx, target, *quick)
 	}
 
 	suite, err := scenarios(*quick)
@@ -342,9 +357,16 @@ func run(args []string) error {
 			"Regenerate with `make bench-json`.",
 		Speedups: map[string]float64{},
 	}
+	interrupted := false
 	for _, sc := range suite {
 		if *only != "" && !strings.Contains(sc.name, *only) {
 			continue
+		}
+		// Scenarios are independent measurements, so an interrupt between
+		// them still leaves a coherent (if shorter) file.
+		if ctx.Err() != nil {
+			interrupted = true
+			break
 		}
 		fast, err := measure(sc.name, "fast", sc.events, sc.runFast)
 		if err != nil {
@@ -362,7 +384,13 @@ func run(args []string) error {
 			sc.name, fast.NsPerOp, fast.AllocsPerOp, fast.EventsPerSec, ref.NsPerOp, file.Speedups[sc.name])
 	}
 	if len(file.Benchmarks) == 0 {
+		if interrupted {
+			return fmt.Errorf("interrupted before any scenario finished: %w", ctx.Err())
+		}
 		return fmt.Errorf("no scenario matches -only %q", *only)
+	}
+	if interrupted {
+		file.Note += " PARTIAL RUN: interrupted before all scenarios completed."
 	}
 
 	buf, err := json.MarshalIndent(file, "", "  ")
@@ -372,6 +400,10 @@ func run(args []string) error {
 	buf = append(buf, '\n')
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
+	}
+	if interrupted {
+		fmt.Printf("wrote %s (%d benchmarks, partial — interrupted)\n", *out, len(file.Benchmarks))
+		return fmt.Errorf("interrupted: %w", ctx.Err())
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(file.Benchmarks))
 	return nil

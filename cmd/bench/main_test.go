@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -12,7 +13,7 @@ import (
 // engines, with sane numbers.
 func TestBenchWritesJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_sim.json")
-	if err := run([]string{"-quick", "-benchtime", "1x", "-out", out}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-benchtime", "1x", "-out", out}); err != nil {
 		t.Fatal(err)
 	}
 	buf, err := os.ReadFile(out)
@@ -67,7 +68,7 @@ func TestBenchWritesJSON(t *testing.T) {
 
 func TestBenchOnlyFilter(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "b.json")
-	if err := run([]string{"-quick", "-benchtime", "1x", "-only", "macsim/basic-n20", "-out", out}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-benchtime", "1x", "-only", "macsim/basic-n20", "-out", out}); err != nil {
 		t.Fatal(err)
 	}
 	var f File
@@ -81,7 +82,7 @@ func TestBenchOnlyFilter(t *testing.T) {
 	if len(f.Benchmarks) != 2 {
 		t.Fatalf("filter kept %d entries, want 2", len(f.Benchmarks))
 	}
-	if err := run([]string{"-quick", "-only", "nosuch", "-out", out}); err == nil {
+	if err := run(context.Background(), []string{"-quick", "-only", "nosuch", "-out", out}); err == nil {
 		t.Fatal("unknown -only filter did not error")
 	}
 }

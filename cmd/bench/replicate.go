@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 	"testing"
 	"time"
 
@@ -73,6 +75,7 @@ type ReplicateFile struct {
 	Generated     string          `json:"generated"`
 	GoVersion     string          `json:"go"`
 	GOMAXPROCS    int             `json:"gomaxprocs"`
+	NumCPU        int             `json:"num_cpu"`
 	Profile       string          `json:"profile"`
 	Note          string          `json:"note"`
 	EngineAllocs  []AllocResult   `json:"engine_allocs"`
@@ -173,7 +176,7 @@ func measureEngineAllocs(shDur, mhDur float64) ([]AllocResult, error) {
 	return out, nil
 }
 
-func measureWorkerScaling(mhDur float64, reps int) ([]ScalingResult, error) {
+func measureWorkerScaling(ctx context.Context, mhDur float64, reps int) ([]ScalingResult, error) {
 	nw, cfg, err := replicateWorkload(mhDur)
 	if err != nil {
 		return nil, err
@@ -185,21 +188,30 @@ func measureWorkerScaling(mhDur float64, reps int) ([]ScalingResult, error) {
 		}
 		return globalRateReplicator{sim}, nil
 	}
+	// The fixed ladder plus workers=NumCPU: the one row whose speedup the
+	// hardware can actually deliver, so the file always carries an honest
+	// saturation point (on a 1-CPU host that row is workers=1 at ~1x).
+	counts := []int{1, 2, 4, 8, runtime.NumCPU()}
+	slices.Sort(counts)
+	counts = slices.Compact(counts)
 	var out []ScalingResult
 	var base float64
-	for _, workers := range []int{1, 2, 4, 8} {
+	for _, workers := range counts {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
 		plan := replicate.FixedPlan(3, "bench.scaling", 1, reps, workers)
 		// Warm once (engine construction, page faults), then time.
-		if _, err := replicate.Run(plan, factory); err != nil {
-			return nil, err
+		if _, err := replicate.RunContext(ctx, plan, factory); err != nil {
+			return out, err
 		}
 		start := time.Now()
-		if _, err := replicate.Run(plan, factory); err != nil {
-			return nil, err
+		if _, err := replicate.RunContext(ctx, plan, factory); err != nil {
+			return out, err
 		}
 		secs := time.Since(start).Seconds()
 		sr := ScalingResult{Workers: workers, Seconds: secs}
-		if workers == 1 {
+		if workers == counts[0] {
 			base = secs
 		}
 		if secs > 0 {
@@ -222,13 +234,16 @@ func (r globalRateReplicator) Replicate(seed uint64, out []float64) error {
 	return nil
 }
 
-func measureAdaptive(mhDur float64, minReps, maxReps int, relCI float64) (AdaptiveResult, error) {
+func measureAdaptive(ctx context.Context, mhDur float64, minReps, maxReps int, relCI float64) (AdaptiveResult, error) {
 	nw, cfg, err := replicateWorkload(mhDur)
 	if err != nil {
 		return AdaptiveResult{}, err
 	}
 	res := AdaptiveResult{RelCITarget: relCI, MinReps: minReps, MaxReps: maxReps}
 	for _, w := range []int{58, 116, 232} {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
 		sim := cfg
 		sim.CW = uniformCW(w, 50)
 		factory := func() (replicate.Replicator, error) {
@@ -239,16 +254,16 @@ func measureAdaptive(mhDur float64, minReps, maxReps int, relCI float64) (Adapti
 			return globalRateReplicator{s}, nil
 		}
 		stream := fmt.Sprintf("bench.adaptive.w%d", w)
-		adaptive, err := replicate.Run(replicate.Plan{
+		adaptive, err := replicate.RunContext(ctx, replicate.Plan{
 			BaseSeed: 5, Stream: stream, Metrics: 1,
 			RelTolerance: relCI, MinReps: minReps, MaxReps: maxReps,
 		}, factory)
 		if err != nil {
-			return AdaptiveResult{}, err
+			return res, err
 		}
-		fixed, err := replicate.Run(replicate.FixedPlan(5, stream, 1, maxReps, 0), factory)
+		fixed, err := replicate.RunContext(ctx, replicate.FixedPlan(5, stream, 1, maxReps, 0), factory)
 		if err != nil {
-			return AdaptiveResult{}, err
+			return res, err
 		}
 		relOf := func(r *replicate.Result) float64 {
 			if m := r.Mean(0); m != 0 {
@@ -270,8 +285,9 @@ func measureAdaptive(mhDur float64, minReps, maxReps int, relCI float64) (Adapti
 	return res, nil
 }
 
-// runReplicate drives the -replicate mode.
-func runReplicate(out string, quick bool) error {
+// runReplicate drives the -replicate mode. An interrupt mid-suite stops
+// measuring and writes whatever stages completed.
+func runReplicate(ctx context.Context, out string, quick bool) error {
 	shDur, mhDur := 20e6, 10e6
 	minReps, maxReps := 4, 24
 	scalingReps := 16
@@ -289,14 +305,36 @@ func runReplicate(out string, quick bool) error {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Profile:    profile,
 		Note: "Replication-layer benchmarks: engine_allocs compares fresh one-shot runs vs the " +
 			"reusable Reset+Run lifecycle (steady state must be 0 allocs/op); worker_scaling is " +
-			"wall-clock of one fixed-R measurement at 1/2/4/8 workers (parallel speedup is " +
-			"bounded by gomaxprocs — on a 1-CPU host all counts honestly measure ~1x); adaptive " +
-			"counts replications spent by the CI-targeted schedule vs fixed worst-case R. " +
+			"wall-clock of one fixed-R measurement at 1/2/4/8 workers plus workers=num_cpu, the " +
+			"saturation row the hardware can honestly deliver (parallel speedup is bounded by " +
+			"gomaxprocs — on a 1-CPU host all counts measure ~1x); adaptive counts replications " +
+			"spent by the CI-targeted schedule vs fixed worst-case R. " +
 			"Regenerate with `make bench-replicate`.",
 	}
+	writeFile := func() error {
+		buf, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+		return nil
+	}
+	interrupted := func(stageErr error) error {
+		file.Note += " PARTIAL RUN: interrupted before all stages completed."
+		if werr := writeFile(); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("interrupted: %w", stageErr)
+	}
+
 	var err error
 	if file.EngineAllocs, err = measureEngineAllocs(shDur, mhDur); err != nil {
 		return err
@@ -305,26 +343,22 @@ func runReplicate(out string, quick bool) error {
 		fmt.Printf("%-28s fresh %5d allocs/op %9d B/op | reused %3d allocs/op %6d B/op\n",
 			a.Name, a.FreshAllocsOp, a.FreshBytesOp, a.ReusedAllocsOp, a.ReusedBytesOp)
 	}
-	if file.WorkerScaling, err = measureWorkerScaling(mhDur, scalingReps); err != nil {
+	if file.WorkerScaling, err = measureWorkerScaling(ctx, mhDur, scalingReps); err != nil {
+		if ctx.Err() != nil {
+			return interrupted(err)
+		}
 		return err
 	}
 	for _, sr := range file.WorkerScaling {
 		fmt.Printf("workers=%d %8.3fs speedup %.2fx\n", sr.Workers, sr.Seconds, sr.Speedup)
 	}
-	if file.Adaptive, err = measureAdaptive(mhDur, minReps, maxReps, relCI); err != nil {
+	if file.Adaptive, err = measureAdaptive(ctx, mhDur, minReps, maxReps, relCI); err != nil {
+		if ctx.Err() != nil {
+			return interrupted(err)
+		}
 		return err
 	}
 	fmt.Printf("adaptive: %d reps vs fixed %d (saved %d)\n",
 		file.Adaptive.AdaptiveTotal, file.Adaptive.FixedTotal, file.Adaptive.RepsSaved)
-
-	buf, err := json.MarshalIndent(file, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(out, buf, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", out)
-	return nil
+	return writeFile()
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 // than the fixed worst case.
 func TestBenchReplicateWritesJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_replicate.json")
-	if err := run([]string{"-replicate", "-quick", "-benchtime", "1x", "-out", out}); err != nil {
+	if err := run(context.Background(), []string{"-replicate", "-quick", "-benchtime", "1x", "-out", out}); err != nil {
 		t.Fatal(err)
 	}
 	buf, err := os.ReadFile(out)

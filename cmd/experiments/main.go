@@ -21,21 +21,41 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"selfishmac/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// First SIGINT/SIGTERM cancels the run: in-flight experiments return
+	// at their next sweep point or replication round boundary and the
+	// completed reports are still printed and written. A second signal
+	// hard-exits.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "experiments: interrupt — finishing cleanly (interrupt again to force exit)")
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "experiments: second interrupt — exiting now")
+		os.Exit(130)
+	}()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -47,7 +67,7 @@ type runnerResult struct {
 	elapsed time.Duration
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "use the fast smoke profile instead of the paper-faithful one")
 	out := fs.String("out", "results", "output directory")
@@ -140,21 +160,35 @@ func run(args []string) error {
 			defer wg.Done()
 			for i := range next {
 				start := time.Now()
-				rep, err := selected[i].Run(settings)
+				rep, err := selected[i].Run(ctx, settings)
 				results[i] = runnerResult{rep: rep, err: err, elapsed: time.Since(start)}
 			}
 		}()
 	}
+feed:
 	for i := range selected {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
 
-	var failures int
+	var failures, cancelled int
 	for i, r := range selected {
 		res := results[i]
+		if res.rep == nil && res.err == nil {
+			cancelled++ // never started: the intake loop stopped first
+			continue
+		}
 		fmt.Printf("=== %s: %s\n", r.ID, r.Name)
+		if errors.Is(res.err, context.Canceled) {
+			cancelled++
+			fmt.Printf("(%s cancelled after %v)\n\n", r.ID, res.elapsed.Round(time.Millisecond))
+			continue
+		}
 		if res.err != nil {
 			failures++
 			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", r.ID, res.err)
@@ -179,6 +213,9 @@ func run(args []string) error {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	if cancelled > 0 {
+		return fmt.Errorf("interrupted: %d experiment(s) cancelled, %d completed", cancelled, len(selected)-cancelled)
 	}
 	return nil
 }

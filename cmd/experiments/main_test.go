@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,7 +9,7 @@ import (
 )
 
 func TestRunListsExperiments(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatalf("-list failed: %v", err)
 	}
 }
@@ -17,7 +18,7 @@ func TestRunWritesArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	// T1 is pure configuration; A4 exercises randomized checks; both are
 	// fast even at the quick profile.
-	if err := run([]string{"-quick", "-out", dir, "-only", "T1,A4"}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-out", dir, "-only", "T1,A4"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, name := range []string{"t1.txt", "a4.txt"} {
@@ -39,7 +40,7 @@ func TestRunWritesProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	if err := run([]string{"-quick", "-out", dir, "-only", "T1", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-out", dir, "-only", "T1", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, p := range []string{cpu, mem} {
@@ -54,14 +55,14 @@ func TestRunWritesProfiles(t *testing.T) {
 }
 
 func TestRunUnknownFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
 }
 
 func TestRunOnlyFilterSkipsOthers(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-quick", "-out", dir, "-only", "T1"}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-out", dir, "-only", "T1"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "a4.txt")); !os.IsNotExist(err) {
@@ -76,10 +77,10 @@ func TestRunOnlyFilterSkipsOthers(t *testing.T) {
 func TestJobsByteIdentical(t *testing.T) {
 	serial := t.TempDir()
 	parallel := t.TempDir()
-	if err := run([]string{"-quick", "-jobs", "1", "-out", serial, "-only", "T1,A4,F2"}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-jobs", "1", "-out", serial, "-only", "T1,A4,F2"}); err != nil {
 		t.Fatalf("serial run: %v", err)
 	}
-	if err := run([]string{"-quick", "-jobs", "4", "-out", parallel, "-only", "T1,A4,F2"}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-jobs", "4", "-out", parallel, "-only", "T1,A4,F2"}); err != nil {
 		t.Fatalf("parallel run: %v", err)
 	}
 	names, err := os.ReadDir(serial)
@@ -106,7 +107,7 @@ func TestJobsByteIdentical(t *testing.T) {
 
 func TestRunCreatesOutputDir(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "nested", "results")
-	if err := run([]string{"-quick", "-out", dir, "-only", "T1"}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-out", dir, "-only", "T1"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "t1.txt")); err != nil {

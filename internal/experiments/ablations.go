@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,7 +18,7 @@ import (
 // maximum backoff stage m moves the efficient NE. It explains the small
 // residual gaps in Tables II/III: the paper never states its m, and the
 // NE drifts a few percent across plausible values.
-func BackoffStageAblation(s Settings) (*Report, error) {
+func BackoffStageAblation(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -29,6 +30,9 @@ func BackoffStageAblation(s Settings) (*Report, error) {
 	var mcol, wcol []float64
 	for _, mode := range []phy.AccessMode{phy.Basic, phy.RTSCTS} {
 		for _, m := range []int{0, 2, 4, 6, 8} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cfg := core.DefaultConfig(20, mode)
 			cfg.PHY.MaxBackoffStage = m
 			g, err := core.NewGame(cfg)
@@ -75,7 +79,7 @@ func BackoffStageAblation(s Settings) (*Report, error) {
 // backing for using the paper's e << g route for the tables: the exact
 // argmax can sit far from the theory point in CW (especially RTS/CTS)
 // while the payoff difference is negligible.
-func CostTermAblation(s Settings) (*Report, error) {
+func CostTermAblation(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -86,6 +90,9 @@ func CostTermAblation(s Settings) (*Report, error) {
 	rep := &Report{ID: "A7", Title: "Cost-term ablation"}
 	for _, mode := range []phy.AccessMode{phy.Basic, phy.RTSCTS} {
 		for _, n := range tablePopulations {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			g, err := core.NewGame(core.DefaultConfig(n, mode))
 			if err != nil {
 				return nil, err
@@ -116,7 +123,7 @@ func CostTermAblation(s Settings) (*Report, error) {
 // optimum, the one-shot selfish NE, the price of anarchy, and the payoff
 // TFT sustains — the same "selfishness is fine if long-sighted" story in
 // a second strategy space.
-func RateControl(s Settings) (*Report, error) {
+func RateControl(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -125,6 +132,9 @@ func RateControl(s Settings) (*Report, error) {
 		Headers: []string{"mode", "L social", "L one-shot NE", "escalation", "price of anarchy", "u(TFT)/u(NE)"},
 	}
 	rep := &Report{ID: "R1", Title: "Rate-control extension"}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, tc := range []struct {
 		mode phy.AccessMode
 		w    int
@@ -160,7 +170,7 @@ func RateControl(s Settings) (*Report, error) {
 // assumes (its ref [3]): estimate peers' CWs from promiscuous counts in
 // the simulator and detect undercutting across cheat severities and
 // measurement windows.
-func Detection(s Settings) (*Report, error) {
+func Detection(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,6 +186,9 @@ func Detection(s Settings) (*Report, error) {
 	var falsePos int
 	for _, cheat := range []int{expected / 8, expected / 4, expected / 2} {
 		for _, window := range []float64{10e6, 50e6, s.SingleHopSimTime} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cw := make([]int, n)
 			for i := range cw {
 				cw[i] = expected

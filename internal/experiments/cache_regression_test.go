@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"selfishmac/internal/bianchi"
@@ -23,12 +24,12 @@ func TestGridSweepHitsSolverCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Warm pass: populate the cache for every grid point.
-	if _, _, err := payoffCurve(g, 512, 40, 2); err != nil {
+	if _, _, err := payoffCurve(context.Background(), g, 512, 40, 2); err != nil {
 		t.Fatal(err)
 	}
 	hitsBefore, missesBefore := bianchi.CacheStats()
 	// Second pass over the same grid: all lookups, no new solves.
-	if _, _, err := payoffCurve(g, 512, 40, 2); err != nil {
+	if _, _, err := payoffCurve(context.Background(), g, 512, 40, 2); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses := bianchi.CacheStats()

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunnersHonorCancelledContext: every registered runner returns an
+// error wrapping context.Canceled (and no report) under a dead context,
+// so the service and CLI layers can rely on prompt, uniform cancellation.
+func TestRunnersHonorCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range All() {
+		if r.ID == "T1" {
+			continue // static table, no sweeps: completes instantly by design
+		}
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			rep, err := r.Run(ctx, QuickSettings())
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: err = %v, want context.Canceled", r.ID, err)
+			}
+			if rep != nil {
+				t.Fatalf("%s: got a report despite cancellation", r.ID)
+			}
+		})
+	}
+}
+
+// TestByID finds runners case-insensitively and rejects unknown IDs.
+func TestByID(t *testing.T) {
+	if r, ok := ByID("t2"); !ok || r.ID != "T2" {
+		t.Fatalf("ByID(t2) = %+v, %v", r, ok)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) succeeded")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -29,7 +30,7 @@ import (
 // absorb the noise at practical stage lengths. In this reproduction the
 // paper's "in practice … a more tolerant version" remark is therefore a
 // necessity, not an optimization.
-func ClosedLoop(s Settings) (*Report, error) {
+func ClosedLoop(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,7 +65,7 @@ func ClosedLoop(s Settings) (*Report, error) {
 		// closed-loop runs on derived seeds (replication 0 reuses the
 		// stream of the previous single-run implementation), reported as
 		// the mean final minimum CW with its CI95 half-width.
-		rres, err := replicate.RunFunc(replicate.Plan{
+		rres, err := replicate.RunFuncContext(ctx, replicate.Plan{
 			BaseSeed:     s.Seed,
 			Stream:       "D2." + tc.metric,
 			Metrics:      1,
@@ -117,7 +118,7 @@ func ClosedLoop(s Settings) (*Report, error) {
 // reports how many stages a genuine undercutter enjoys before the network
 // reacts, and the extra discounted profit that lag hands it (Section V.D:
 // a longer lag strictly helps the deviator).
-func GTFTTradeoff(s Settings) (*Report, error) {
+func GTFTTradeoff(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -145,6 +146,9 @@ func GTFTTradeoff(s Settings) (*Report, error) {
 	}
 	rep := &Report{ID: "D3", Title: "GTFT tolerance/reaction trade-off"}
 	for _, r0 := range []int{1, 3, 5, 8} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, beta := range []float64{0.9, 0.8, 0.6} {
 			strats := make([]core.Strategy, n)
 			strats[0] = core.Deviant{Deviation: ne.WStar, Base: cheatW, Stages: warmup}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -17,7 +18,7 @@ import (
 // access delay at the efficient NE, the delay-minimizing CW, and the
 // delay/payoff trade-off between the two — the data a delay-aware utility
 // redesign would start from.
-func DelayAnalysis(s Settings) (*Report, error) {
+func DelayAnalysis(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -28,6 +29,9 @@ func DelayAnalysis(s Settings) (*Report, error) {
 	rep := &Report{ID: "X1", Title: "Delay at the NE"}
 	for _, mode := range []phy.AccessMode{phy.Basic, phy.RTSCTS} {
 		for _, n := range tablePopulations {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			g, err := core.NewGame(core.DefaultConfig(n, mode))
 			if err != nil {
 				return nil, err

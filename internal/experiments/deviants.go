@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,7 +15,7 @@ import (
 // deviator discount factors δ_s and TFT reaction lags, the
 // payoff-maximizing deviation W_s, the gain it yields over honesty, and
 // the damage the eventual collapse inflicts on the network.
-func ShortSighted(s Settings) (*Report, error) {
+func ShortSighted(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,6 +36,9 @@ func ShortSighted(s Settings) (*Report, error) {
 	rep := &Report{ID: "A2", Title: "Short-sighted players"}
 	var dcol, lcol, wcol, gcol, losscol []float64
 	for _, lag := range lags {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, d := range deltas {
 			res, err := g.ShortSightedBest(ne, d, lag)
 			if err != nil {
@@ -83,7 +87,7 @@ func ShortSighted(s Settings) (*Report, error) {
 // malicious CW shrinks. With frozen backoff (m = 0) small CWs paralyze the
 // network outright (negative payoff), matching the paper's strongest
 // claim.
-func Malicious(s Settings) (*Report, error) {
+func Malicious(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,6 +115,9 @@ func Malicious(s Settings) (*Report, error) {
 			Headers: []string{"W_mal", "global @NE", "global transient", "global collapsed", "paralyzed"},
 		}
 		var wcol, collapsed []float64
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
 			res, err := g.MaliciousImpact(ne, w)
 			if err != nil {
@@ -156,7 +163,7 @@ func boolMetric(b bool) float64 {
 // LemmaChecks numerically verifies the orderings of Lemma 1 (heterogeneous
 // profiles) and Lemma 4 (single deviations) over randomized instances,
 // reporting violation counts (expected: zero).
-func LemmaChecks(s Settings) (*Report, error) {
+func LemmaChecks(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,6 +178,9 @@ func LemmaChecks(s Settings) (*Report, error) {
 		lemma1Viol, lemma4Viol := 0, 0
 		r := newSeededRand(rng.DeriveSeed(s.Seed, "A4", int(mode)))
 		for trial := 0; trial < trials; trial++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Lemma 1 on a random heterogeneous profile.
 			w := make([]int, 8)
 			for i := range w {

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -178,11 +179,24 @@ func (s Settings) Validate() error {
 	return nil
 }
 
-// Runner is a named experiment entry point.
+// Runner is a named experiment entry point. Run observes ctx: a
+// cancelled context makes the runner return promptly with an error
+// wrapping ctx.Err() (checked between sweep points and at replication
+// round boundaries), never a partially rendered report.
 type Runner struct {
 	ID   string
 	Name string
-	Run  func(Settings) (*Report, error)
+	Run  func(ctx context.Context, s Settings) (*Report, error)
+}
+
+// ByID returns the runner with the given ID (case-insensitive), or false.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
 }
 
 // All lists every experiment in DESIGN.md order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -72,7 +73,7 @@ func TestAllRegistryShape(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	rep, err := Table1(QuickSettings())
+	rep, err := Table1(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestTable2Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed")
 	}
-	rep, err := Table2(QuickSettings())
+	rep, err := Table2(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestTable3Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed")
 	}
-	rep, err := Table3(QuickSettings())
+	rep, err := Table3(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func metricKeyPrefix(n int) string {
 }
 
 func TestFigure2Quick(t *testing.T) {
-	rep, err := Figure2(QuickSettings())
+	rep, err := Figure2(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,11 +188,11 @@ func trimFloat(f float64) string {
 
 func TestFigure3FlatterThanFigure2(t *testing.T) {
 	s := QuickSettings()
-	f2, err := Figure2(s)
+	f2, err := Figure2(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f3, err := Figure3(s)
+	f3, err := Figure3(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestMultihopQuasiOptimalityQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spatial simulation")
 	}
-	rep, err := MultihopQuasiOptimality(QuickSettings())
+	rep, err := MultihopQuasiOptimality(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestHiddenNodeInvarianceQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spatial simulation")
 	}
-	rep, err := HiddenNodeInvariance(QuickSettings())
+	rep, err := HiddenNodeInvariance(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestHiddenNodeInvarianceQuick(t *testing.T) {
 }
 
 func TestSearchAlgorithmReport(t *testing.T) {
-	rep, err := SearchAlgorithm(QuickSettings())
+	rep, err := SearchAlgorithm(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestSearchAlgorithmReport(t *testing.T) {
 }
 
 func TestShortSightedReport(t *testing.T) {
-	rep, err := ShortSighted(QuickSettings())
+	rep, err := ShortSighted(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestShortSightedReport(t *testing.T) {
 }
 
 func TestMaliciousReport(t *testing.T) {
-	rep, err := Malicious(QuickSettings())
+	rep, err := Malicious(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestMaliciousReport(t *testing.T) {
 }
 
 func TestLemmaChecksReport(t *testing.T) {
-	rep, err := LemmaChecks(QuickSettings())
+	rep, err := LemmaChecks(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestLemmaChecksReport(t *testing.T) {
 }
 
 func TestBackoffStageAblationReport(t *testing.T) {
-	rep, err := BackoffStageAblation(QuickSettings())
+	rep, err := BackoffStageAblation(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ func TestBackoffStageAblationReport(t *testing.T) {
 }
 
 func TestCostTermAblationReport(t *testing.T) {
-	rep, err := CostTermAblation(QuickSettings())
+	rep, err := CostTermAblation(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestCostTermAblationReport(t *testing.T) {
 }
 
 func TestRateControlReport(t *testing.T) {
-	rep, err := RateControl(QuickSettings())
+	rep, err := RateControl(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestDetectionReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed")
 	}
-	rep, err := Detection(QuickSettings())
+	rep, err := Detection(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +386,7 @@ func TestClosedLoopReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed")
 	}
-	rep, err := ClosedLoop(QuickSettings())
+	rep, err := ClosedLoop(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +407,7 @@ func TestClosedLoopReport(t *testing.T) {
 }
 
 func TestGTFTTradeoffReport(t *testing.T) {
-	rep, err := GTFTTradeoff(QuickSettings())
+	rep, err := GTFTTradeoff(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +431,7 @@ func TestGTFTTradeoffReport(t *testing.T) {
 }
 
 func TestPopulationMixReport(t *testing.T) {
-	rep, err := PopulationMix(QuickSettings())
+	rep, err := PopulationMix(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +453,7 @@ func TestPopulationMixReport(t *testing.T) {
 }
 
 func TestDelayAnalysisReport(t *testing.T) {
-	rep, err := DelayAnalysis(QuickSettings())
+	rep, err := DelayAnalysis(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +473,7 @@ func TestDelayAnalysisReport(t *testing.T) {
 }
 
 func TestTFTConvergenceReport(t *testing.T) {
-	rep, err := TFTConvergence(QuickSettings())
+	rep, err := TFTConvergence(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -494,7 +495,7 @@ func TestRobustnessReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spatial simulation (churn section)")
 	}
-	rep, err := Robustness(QuickSettings())
+	rep, err := Robustness(context.Background(), QuickSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -555,11 +556,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 			serial.Workers = 1
 			parallel := QuickSettings()
 			parallel.Workers = 4
-			want, err := r.Run(serial)
+			want, err := r.Run(context.Background(), serial)
 			if err != nil {
 				t.Fatalf("serial: %v", err)
 			}
-			got, err := r.Run(parallel)
+			got, err := r.Run(context.Background(), parallel)
 			if err != nil {
 				t.Fatalf("parallel: %v", err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,7 +31,7 @@ type figureSeries struct {
 
 // figure computes the paper's Figures 2/3: normalized global payoff U/C as
 // a function of the common CW value, one series per population size.
-func figure(id, title string, mode phy.AccessMode, s Settings) (*Report, error) {
+func figure(ctx context.Context, id, title string, mode phy.AccessMode, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,7 +62,7 @@ func figure(id, title string, mode phy.AccessMode, s Settings) (*Report, error) 
 		games[k], nes[k] = g, ne
 	}
 	series := make([]figureSeries, len(tablePopulations))
-	err := forEachIndex(len(tablePopulations), workers, func(k int) error {
+	err := forEachIndex(ctx, len(tablePopulations), workers, func(k int) error {
 		n := tablePopulations[k]
 		out := &series[k]
 		g, ne := games[k], nes[k]
@@ -70,7 +71,7 @@ func figure(id, title string, mode phy.AccessMode, s Settings) (*Report, error) 
 		if wMax < 64 {
 			wMax = 64
 		}
-		xs, ys, err := payoffCurve(g, wMax, s.FigurePoints, workers)
+		xs, ys, err := payoffCurve(ctx, g, wMax, s.FigurePoints, workers)
 		if err != nil {
 			return err
 		}
@@ -130,7 +131,7 @@ func figure(id, title string, mode phy.AccessMode, s Settings) (*Report, error) 
 	if simIdx < 0 {
 		return nil, fmt.Errorf("%s: simulated overlay: population 20 missing", id)
 	}
-	sim, err := simulatedCurve(id, mode, games[simIdx], 20, s)
+	sim, err := simulatedCurve(ctx, id, mode, games[simIdx], 20, s)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +190,7 @@ func (r ucReplicator) Replicate(seed uint64, out []float64) error {
 // its own derived seed stream by internal/replicate — reusable engines,
 // deterministic at any worker count, adaptive precision when the
 // settings enable it.
-func simulatedCurve(id string, mode phy.AccessMode, g *core.Game, n int, s Settings) (*simCurve, error) {
+func simulatedCurve(ctx context.Context, id string, mode phy.AccessMode, g *core.Game, n int, s Settings) (*simCurve, error) {
 	p := phy.Default()
 	tm, err := p.Timing(mode)
 	if err != nil {
@@ -223,7 +224,7 @@ func simulatedCurve(id string, mode phy.AccessMode, g *core.Game, n int, s Setti
 		reps: make([]float64, len(grid)),
 	}
 	for i, w := range grid {
-		rres, err := replicate.Run(replicate.Plan{
+		rres, err := replicate.RunContext(ctx, replicate.Plan{
 			BaseSeed:     s.Seed,
 			Stream:       fmt.Sprintf("%s.sim.w%d", id, w),
 			Metrics:      1,
@@ -281,7 +282,7 @@ func uniformCW(w, n int) []int {
 // fanning the independent solves over the worker pool. The different
 // series lengths per n are intentional (each spans its own peak), so the
 // CSV writes per-series x columns.
-func payoffCurve(g *core.Game, wMax, points, workers int) (xs, ys []float64, err error) {
+func payoffCurve(ctx context.Context, g *core.Game, wMax, points, workers int) (xs, ys []float64, err error) {
 	seen := map[int]bool{}
 	var grid []int
 	for i := 0; i < points; i++ {
@@ -298,7 +299,7 @@ func payoffCurve(g *core.Game, wMax, points, workers int) (xs, ys []float64, err
 	}
 	xs = make([]float64, len(grid))
 	ys = make([]float64, len(grid))
-	err = forEachIndex(len(grid), workers, func(i int) error {
+	err = forEachIndex(ctx, len(grid), workers, func(i int) error {
 		u, err := g.NormalizedGlobalPayoff(grid[i])
 		if err != nil {
 			return err
@@ -333,11 +334,11 @@ func curvePeak(xs, ys []float64) (x, y float64, ok bool) {
 }
 
 // Figure2 reproduces Figure 2 (basic access).
-func Figure2(s Settings) (*Report, error) {
-	return figure("F2", "Figure 2: global payoff vs CW value, basic case", phy.Basic, s)
+func Figure2(ctx context.Context, s Settings) (*Report, error) {
+	return figure(ctx, "F2", "Figure 2: global payoff vs CW value, basic case", phy.Basic, s)
 }
 
 // Figure3 reproduces Figure 3 (RTS/CTS).
-func Figure3(s Settings) (*Report, error) {
-	return figure("F3", "Figure 3: global payoff vs CW value, RTS/CTS case", phy.RTSCTS, s)
+func Figure3(ctx context.Context, s Settings) (*Report, error) {
+	return figure(ctx, "F3", "Figure 3: global payoff vs CW value, RTS/CTS case", phy.RTSCTS, s)
 }

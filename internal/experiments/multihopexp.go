@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -36,7 +37,7 @@ func paperTopoConfig(s Settings, stream string) topology.Config {
 // Wm = min_i W_i, and measures how close operating at Wm comes to the best
 // common operating point — per node and globally. The paper reports
 // Wm = 26, per-node >= 96% and global within 3% of optimal.
-func MultihopQuasiOptimality(s Settings) (*Report, error) {
+func MultihopQuasiOptimality(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -87,7 +88,7 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 	if maxReps < minReps {
 		maxReps = minReps
 	}
-	res, err := multihop.MeasureQuasiOptimality(nw, multihop.QuasiOptConfig{
+	res, err := multihop.MeasureQuasiOptimalityContext(ctx, nw, multihop.QuasiOptConfig{
 		Sim:              multihop.DefaultSimConfig(s.MultihopSimTime, rng.DeriveSeed(s.Seed, "M1.sweep", 0)),
 		Wm:               wm,
 		SweepMultipliers: []float64{0.4, 0.6, 0.8, 1.25, 1.6, 2.2, 3},
@@ -169,7 +170,7 @@ func MultihopQuasiOptimality(s Settings) (*Report, error) {
 // HiddenNodeInvariance reproduces the Section VI.A approximation check:
 // the hidden-node loss fraction (1 − p_hn) is roughly independent of the
 // common CW value when the network is large and CW is not too small.
-func HiddenNodeInvariance(s Settings) (*Report, error) {
+func HiddenNodeInvariance(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -181,7 +182,7 @@ func HiddenNodeInvariance(s Settings) (*Report, error) {
 		return nil, err
 	}
 	cws := []int{8, 16, 26, 40, 64, 104, 160}
-	fracs, err := multihop.PHNSweep(nw, multihop.DefaultSimConfig(s.MultihopSimTime, rng.DeriveSeed(s.Seed, "M2.phn", 0)), cws, s.workerCount())
+	fracs, err := multihop.PHNSweepContext(ctx, nw, multihop.DefaultSimConfig(s.MultihopSimTime, rng.DeriveSeed(s.Seed, "M2.phn", 0)), cws, s.workerCount())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,7 +22,7 @@ var (
 
 // Table1 renders the Table I parameter listing (a configuration check, not
 // a measurement) and records the derived Ts/Tc values for both modes.
-func Table1(Settings) (*Report, error) {
+func Table1(_ context.Context, _ Settings) (*Report, error) {
 	p := phy.Default()
 	basic, err := p.Timing(phy.Basic)
 	if err != nil {
@@ -81,7 +82,7 @@ type NERow struct {
 // only look up the shared solver cache. The three populations are
 // independent, so they fan out over the worker pool; rows land in their
 // slice slots, keeping the table order deterministic.
-func neTable(id string, mode phy.AccessMode, paper map[int]int, s Settings) ([]NERow, error) {
+func neTable(ctx context.Context, id string, mode phy.AccessMode, paper map[int]int, s Settings) ([]NERow, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,7 +99,7 @@ func neTable(id string, mode phy.AccessMode, paper map[int]int, s Settings) ([]N
 		games[k] = g
 	}
 	rows := make([]NERow, len(tablePopulations))
-	err = forEachIndex(len(tablePopulations), s.workerCount(), func(k int) error {
+	err = forEachIndex(ctx, len(tablePopulations), s.workerCount(), func(k int) error {
 		n := tablePopulations[k]
 		g := games[k]
 		theory, err := g.FindPaperNE()
@@ -109,7 +110,7 @@ func neTable(id string, mode phy.AccessMode, paper map[int]int, s Settings) ([]N
 		if err != nil {
 			return err
 		}
-		mean, variance, err := simulatedBestCW(id, g, tm, n, theory.WStar, s)
+		mean, variance, err := simulatedBestCW(ctx, id, g, tm, n, theory.WStar, s)
 		if err != nil {
 			return err
 		}
@@ -140,12 +141,12 @@ func neTable(id string, mode phy.AccessMode, paper map[int]int, s Settings) ([]N
 // T3/n=5 never reuse a stream), fanned out over the worker pool. The
 // mode timing is hoisted to the table level (neTable) rather than
 // re-derived per population.
-func simulatedBestCW(id string, g *core.Game, tm phy.Timing, n, wStar int, s Settings) (mean, variance float64, err error) {
+func simulatedBestCW(ctx context.Context, id string, g *core.Game, tm phy.Timing, n, wStar int, s Settings) (mean, variance float64, err error) {
 	cfg := g.Config()
 	grid := cwGrid(wStar)
 	results := make([]*macsim.Result, len(grid))
 	stream := fmt.Sprintf("%s.sim.n%d", id, n)
-	err = forEachIndex(len(grid), s.workerCount(), func(gi int) error {
+	err = forEachIndex(ctx, len(grid), s.workerCount(), func(gi int) error {
 		res, err := macsim.RunUniform(tm, cfg.PHY.MaxBackoffStage, grid[gi], n,
 			s.SingleHopSimTime, cfg.Gain, cfg.Cost, rng.DeriveSeed(s.Seed, stream, gi))
 		if err != nil {
@@ -231,8 +232,8 @@ func renderNETable(title string, rows []NERow) (string, string) {
 	return tb.Render(), csv.String()
 }
 
-func neReport(id, title string, mode phy.AccessMode, paper map[int]int, s Settings) (*Report, error) {
-	rows, err := neTable(id, mode, paper, s)
+func neReport(ctx context.Context, id, title string, mode phy.AccessMode, paper map[int]int, s Settings) (*Report, error) {
+	rows, err := neTable(ctx, id, mode, paper, s)
 	if err != nil {
 		return nil, err
 	}
@@ -254,11 +255,11 @@ func neReport(id, title string, mode phy.AccessMode, paper map[int]int, s Settin
 }
 
 // Table2 reproduces Table II (basic access).
-func Table2(s Settings) (*Report, error) {
-	return neReport("T2", "Table II: Nash equilibrium point, basic case", phy.Basic, paperTable2, s)
+func Table2(ctx context.Context, s Settings) (*Report, error) {
+	return neReport(ctx, "T2", "Table II: Nash equilibrium point, basic case", phy.Basic, paperTable2, s)
 }
 
 // Table3 reproduces Table III (RTS/CTS).
-func Table3(s Settings) (*Report, error) {
-	return neReport("T3", "Table III: Nash equilibrium point, RTS/CTS case", phy.RTSCTS, paperTable3, s)
+func Table3(ctx context.Context, s Settings) (*Report, error) {
+	return neReport(ctx, "T3", "Table III: Nash equilibrium point, RTS/CTS case", phy.RTSCTS, paperTable3, s)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,9 +19,14 @@ import (
 // goroutines (0 or negative means GOMAXPROCS). It returns the
 // lowest-index error, so error reporting is deterministic too. fn must
 // only touch state owned by its index.
-func forEachIndex(n, workers int, fn func(i int) error) error {
+//
+// Cancellation: workers stop claiming new indices once ctx is cancelled.
+// If every claimed fn succeeded, forEachIndex returns ctx.Err(), so a
+// cancelled sweep surfaces as an error rather than a silently truncated
+// result; a real fn error still wins (lowest index first).
+func forEachIndex(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -30,6 +36,9 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -44,6 +53,9 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -58,5 +70,5 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

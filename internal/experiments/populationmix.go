@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,7 +18,7 @@ import (
 // populations — while zero myopic players (all long-sighted TFT) sustain
 // the efficient NE, the paper's headline. The table sweeps k and reports
 // the converged CW and the global payoff retention.
-func PopulationMix(s Settings) (*Report, error) {
+func PopulationMix(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -43,6 +44,9 @@ func PopulationMix(s Settings) (*Report, error) {
 	rep := &Report{ID: "A8", Title: "Population mix"}
 	var ks, retentions []float64
 	for _, k := range []int{0, 1, 2, 5, n} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		strats := make([]core.Strategy, n)
 		for i := range strats {
 			if i < k {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,7 +22,7 @@ import (
 // deputy failover, an exhausted probe budget, and node churn during
 // convergence. Every scenario is seeded via rng.DeriveSeed and replays
 // byte-identically.
-func Robustness(s Settings) (*Report, error) {
+func Robustness(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,7 +48,7 @@ func Robustness(s Settings) (*Report, error) {
 		stats faults.Stats
 	}
 	dropRows := make([]dropRow, len(drops))
-	err = forEachIndex(len(drops), s.workerCount(), func(i int) error {
+	err = forEachIndex(ctx, len(drops), s.workerCount(), func(i int) error {
 		inner, err := search.NewAnalyticEnv(g, 0, w0)
 		if err != nil {
 			return err
@@ -102,7 +103,7 @@ func Robustness(s Settings) (*Report, error) {
 	// median-of-3 has to reject the gross errors.
 	noises := []float64{0, 0.1, 0.2, 0.3}
 	noiseRes := make([]search.Result, len(noises))
-	err = forEachIndex(len(noises), s.workerCount(), func(i int) error {
+	err = forEachIndex(ctx, len(noises), s.workerCount(), func(i int) error {
 		inner, err := search.NewAnalyticEnv(g, 0, w0)
 		if err != nil {
 			return err
@@ -209,7 +210,7 @@ func Robustness(s Settings) (*Report, error) {
 	}
 	churnRows := make([]churnRow, len(churnRates))
 	for i, rate := range churnRates {
-		rres, err := replicate.RunFunc(replicate.Plan{
+		rres, err := replicate.RunFuncContext(ctx, replicate.Plan{
 			BaseSeed:     s.Seed,
 			Stream:       fmt.Sprintf("A9.churn%02.0f", rate*100),
 			Metrics:      3, // converged-at stage, converged CW, stages run

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,7 +21,7 @@ func newSeededRand(seed uint64) *rng.Source { return rng.New(seed) }
 // payoffs, 20% message loss, simulator-measured payoffs — the latter only
 // via the accelerated variant to keep probe counts sane), comparing the
 // paper's unit-step walk with the accelerated variant.
-func SearchAlgorithm(s Settings) (*Report, error) {
+func SearchAlgorithm(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,6 +54,9 @@ func SearchAlgorithm(s Settings) (*Report, error) {
 
 	starts := []int{4, 16, ne.WStar + 40}
 	for _, w0 := range starts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		env, err := search.NewAnalyticEnv(g, 0, w0)
 		if err != nil {
 			return nil, err
@@ -104,7 +108,7 @@ func SearchAlgorithm(s Settings) (*Report, error) {
 // heterogeneous initial CWs to the minimum within one stage in a
 // single-hop network; GTFT's tolerance absorbs observation noise that
 // makes plain TFT ratchet downward.
-func TFTConvergence(s Settings) (*Report, error) {
+func TFTConvergence(ctx context.Context, s Settings) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -192,6 +196,9 @@ func TFTConvergence(s Settings) (*Report, error) {
 		Headers: []string{"r0", "beta", "final CW", "held"},
 	}
 	for _, r0 := range []int{1, 3, 5} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, beta := range []float64{0.95, 0.9, 0.8} {
 			strats := make([]core.Strategy, 6)
 			for i := range strats {

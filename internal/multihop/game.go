@@ -1,6 +1,7 @@
 package multihop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -205,6 +206,14 @@ type QuasiOptResult struct {
 // globally, how little any other common operating point improves on Wm.
 // All runs share the configured seed, so comparisons are paired.
 func MeasureQuasiOptimality(nw *topology.Network, cfg QuasiOptConfig) (*QuasiOptResult, error) {
+	return MeasureQuasiOptimalityContext(context.Background(), nw, cfg)
+}
+
+// MeasureQuasiOptimalityContext is MeasureQuasiOptimality under a
+// context, checked between candidate CWs and at the replication layer's
+// round boundaries. A cancelled sweep returns an error wrapping
+// ctx.Err(), never a partially filled result.
+func MeasureQuasiOptimalityContext(ctx context.Context, nw *topology.Network, cfg QuasiOptConfig) (*QuasiOptResult, error) {
 	if cfg.Wm < 1 {
 		return nil, fmt.Errorf("multihop: Wm = %d must be >= 1", cfg.Wm)
 	}
@@ -242,6 +251,9 @@ func MeasureQuasiOptimality(nw *topology.Network, cfg QuasiOptConfig) (*QuasiOpt
 	best := make([]float64, n)
 	mean := make([]float64, n)
 	for ci, w := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("multihop: quasi-optimality sweep interrupted at CW %d: %w", w, err)
+		}
 		plan := replicate.Plan{
 			BaseSeed:     cfg.Sim.Seed,
 			Stream:       "multihop.quasiopt",
@@ -260,7 +272,7 @@ func MeasureQuasiOptimality(nw *topology.Network, cfg QuasiOptConfig) (*QuasiOpt
 			plan.RelTolerance = 0
 			sim := cfg.Sim
 			sim.CW = uniformCWProfile(w, n)
-			rres, err = replicate.RunFunc(plan, func(seed uint64, out []float64) error {
+			rres, err = replicate.RunFuncContext(ctx, plan, func(seed uint64, out []float64) error {
 				s := sim
 				s.Seed = seed
 				r, err := Simulate(nw, s)
@@ -271,7 +283,7 @@ func MeasureQuasiOptimality(nw *topology.Network, cfg QuasiOptConfig) (*QuasiOpt
 				return nil
 			})
 		} else {
-			rres, err = replicate.Run(plan, func() (replicate.Replicator, error) {
+			rres, err = replicate.RunContext(ctx, plan, func() (replicate.Replicator, error) {
 				sim := cfg.Sim
 				sim.CW = uniformCWProfile(w, n)
 				s, err := NewSimulator(nw, sim)
@@ -385,6 +397,12 @@ func summarizeRatios(rs []float64) (minR, meanR float64) {
 // simulator runs fanned out over at most `workers` goroutines (0 means
 // GOMAXPROCS); runs stay serial when mobility would mutate the topology.
 func PHNSweep(nw *topology.Network, sim SimConfig, cws []int, workers int) ([]float64, error) {
+	return PHNSweepContext(context.Background(), nw, sim, cws, workers)
+}
+
+// PHNSweepContext is PHNSweep under a context, checked between sweep
+// points.
+func PHNSweepContext(ctx context.Context, nw *topology.Network, sim SimConfig, cws []int, workers int) ([]float64, error) {
 	if len(cws) == 0 {
 		return nil, errors.New("multihop: empty CW sweep")
 	}
@@ -394,7 +412,7 @@ func PHNSweep(nw *topology.Network, sim SimConfig, cws []int, workers int) ([]fl
 		}
 	}
 	out := make([]float64, len(cws))
-	err := forEachIndex(len(cws), workers, sim.MobilityEvery == 0, func(k int) error {
+	err := forEachIndex(ctx, len(cws), workers, sim.MobilityEvery == 0, func(k int) error {
 		s := sim
 		s.CW = uniformCWProfile(cws[k], nw.N())
 		r, err := Simulate(nw, s)

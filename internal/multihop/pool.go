@@ -1,6 +1,7 @@
 package multihop
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,9 +13,11 @@ import (
 // the shared topology would be mutated (mobility enabled), which the
 // simulator cannot do concurrently. fn must only write state owned by its
 // index; determinism at any worker count follows from that partitioning.
-func forEachIndex(n, workers int, parallelOK bool, fn func(i int) error) error {
+// Workers stop claiming indices once ctx is cancelled; if no fn errored,
+// the cancellation surfaces as ctx.Err().
+func forEachIndex(ctx context.Context, n, workers int, parallelOK bool, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -24,6 +27,9 @@ func forEachIndex(n, workers int, parallelOK bool, fn func(i int) error) error {
 	}
 	if workers == 1 || !parallelOK {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -38,6 +44,9 @@ func forEachIndex(n, workers int, parallelOK bool, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -52,7 +61,7 @@ func forEachIndex(n, workers int, parallelOK bool, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // uniformCWProfile returns an n-slot profile all at w. Each parallel

@@ -1,0 +1,208 @@
+package replicate
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"selfishmac/internal/rng"
+)
+
+// TestCancelPrefixBitIdentical is the cancellation-determinism contract:
+// cancelling an adaptive run after round k returns exactly the moments an
+// uncancelled run had after its k-th round — at every worker count.
+func TestCancelPrefixBitIdentical(t *testing.T) {
+	base := Plan{BaseSeed: 7, Stream: "t.cancel", Metrics: 2, Target: 0,
+		RelTolerance: 1e-9, MinReps: 3, MaxReps: 60, BatchSize: 4}
+
+	// Reference: run to exhaustion, snapshotting the fold after each round.
+	var perRound []RoundStatus
+	ref := base
+	ref.Workers = 1
+	ref.OnRound = func(st RoundStatus) { perRound = append(perRound, st) }
+	full, err := RunFunc(ref, twoMetricFunc(6))
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if full.Converged || full.Rounds < 3 {
+		t.Fatalf("reference run too short for the test: rounds=%d converged=%v", full.Rounds, full.Converged)
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, stopAfter := range []int{1, 2, full.Rounds - 1} {
+			ctx, cancel := context.WithCancel(context.Background())
+			p := base
+			p.Workers = workers
+			p.OnRound = func(st RoundStatus) {
+				if st.Round == stopAfter {
+					cancel()
+				}
+			}
+			res, err := RunFuncContext(ctx, p, twoMetricFunc(6))
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d stopAfter=%d: err = %v, want context.Canceled", workers, stopAfter, err)
+			}
+			if res == nil || !res.Cancelled {
+				t.Fatalf("workers=%d stopAfter=%d: expected a Cancelled prefix result, got %+v", workers, stopAfter, res)
+			}
+			if res.Rounds != stopAfter {
+				t.Fatalf("workers=%d stopAfter=%d: folded %d rounds", workers, stopAfter, res.Rounds)
+			}
+			want := perRound[stopAfter-1]
+			if res.Reps != want.Reps {
+				t.Fatalf("workers=%d stopAfter=%d: reps %d, want %d", workers, stopAfter, res.Reps, want.Reps)
+			}
+			for m := range res.Moments {
+				if got := res.Moments[m].Snapshot(); got != want.Summaries[m] {
+					t.Fatalf("workers=%d stopAfter=%d metric %d: prefix diverged: %+v vs %+v",
+						workers, stopAfter, m, got, want.Summaries[m])
+				}
+			}
+		}
+	}
+}
+
+// TestCancelBeforeStart: a context that is already dead yields an empty
+// Cancelled result without ever building a worker.
+func TestCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	built := false
+	res, err := RunContext(ctx, FixedPlan(1, "t.dead", 1, 4, 1), func() (Replicator, error) {
+		built = true
+		return twoMetricFunc(1), nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if built {
+		t.Fatal("factory ran under a dead context")
+	}
+	if res == nil || !res.Cancelled || res.Reps != 0 || res.Rounds != 0 {
+		t.Fatalf("expected an empty Cancelled result, got %+v", res)
+	}
+}
+
+// flakyFunc fails whenever the low bits of the seed land in the failure
+// band; because retry seeds are derived deterministically, which attempts
+// fail is a pure function of the plan.
+func flakyFunc(failMod uint64) Func {
+	return func(seed uint64, out []float64) error {
+		if seed%failMod == 0 {
+			return errors.New("transient failure")
+		}
+		out[0] = noisyMetric(seed, 3)
+		return nil
+	}
+}
+
+// TestRetryRecoversDeterministically: with a retry budget, a plan whose
+// primary seeds sometimes fail completes, reports the retries, and stays
+// bit-identical across worker counts.
+func TestRetryRecoversDeterministically(t *testing.T) {
+	// Find a modulus that fails at least one primary seed of the plan but
+	// no retry chain deeper than the budget.
+	const reps = 24
+	base := Plan{BaseSeed: 11, Stream: "t.retry", Metrics: 1,
+		MinReps: reps, MaxReps: reps, MaxErrRetries: 3}
+	failMod := uint64(0)
+search:
+	for mod := uint64(3); mod < 64; mod++ {
+		primaryFails := 0
+		for i := 0; i < reps; i++ {
+			seed := rng.DeriveSeed(base.BaseSeed, base.Stream, i)
+			depth := 0
+			for seed%mod == 0 {
+				depth++
+				if depth > base.MaxErrRetries {
+					continue search
+				}
+				seed = rng.DeriveSeed(seed, "replicate.retry", depth)
+			}
+			if depth > 0 {
+				primaryFails++
+			}
+		}
+		if primaryFails > 0 {
+			failMod = mod
+			break
+		}
+	}
+	if failMod == 0 {
+		t.Fatal("no suitable failure modulus found")
+	}
+
+	var want *Result
+	for _, workers := range []int{1, 4} {
+		p := base
+		p.Workers = workers
+		got, err := RunFunc(p, flakyFunc(failMod))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Retried == 0 {
+			t.Fatalf("workers=%d: expected retries, got none", workers)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if got.Retried != want.Retried || got.Moments[0] != want.Moments[0] {
+			t.Fatalf("workers=%d: retry path diverged: retried %d/%d, moments %+v vs %+v",
+				workers, got.Retried, want.Retried, got.Summary(0), want.Summary(0))
+		}
+	}
+}
+
+// TestRetryBudgetExhausted: a replication that fails on the primary seed
+// and every retry seed surfaces the lowest-index error, mentioning the
+// spent budget.
+func TestRetryBudgetExhausted(t *testing.T) {
+	p := Plan{BaseSeed: 1, Stream: "t.budget", Metrics: 1,
+		MinReps: 4, MaxReps: 4, Workers: 1, MaxErrRetries: 2}
+	attempts := 0
+	_, err := RunFunc(p, func(seed uint64, out []float64) error {
+		attempts++
+		return errors.New("hard failure")
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "replication 0") || !strings.Contains(err.Error(), "after 2 retries") {
+		t.Fatalf("error %q does not name the replication and budget", err)
+	}
+	// Errors surface only after the round completes, so every replication
+	// in the round spends its full budget first.
+	if want := p.MaxReps * (1 + p.MaxErrRetries); attempts != want {
+		t.Fatalf("round ran %d attempts, want %d", attempts, want)
+	}
+}
+
+// TestOnRoundStreamsCISoFar: the per-round callback reports cumulative
+// reps and a CI that matches the final fold on the last round.
+func TestOnRoundStreamsCISoFar(t *testing.T) {
+	var got []RoundStatus
+	p := Plan{BaseSeed: 5, Stream: "t.progress", Metrics: 2, Target: 0,
+		RelTolerance: 0.02, MinReps: 2, MaxReps: 40, BatchSize: 3, Workers: 2,
+		OnRound: func(st RoundStatus) { got = append(got, st) }}
+	res, err := RunFunc(p, twoMetricFunc(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != res.Rounds {
+		t.Fatalf("%d progress callbacks for %d rounds", len(got), res.Rounds)
+	}
+	prev := 0
+	for i, st := range got {
+		if st.Round != i+1 || st.Reps <= prev || len(st.Summaries) != 2 {
+			t.Fatalf("round %d: malformed status %+v", i, st)
+		}
+		prev = st.Reps
+	}
+	last := got[len(got)-1]
+	if last.Reps != res.Reps || last.Summaries[0] != res.Summary(0) {
+		t.Fatalf("final status %+v does not match result %+v", last, res.Summary(0))
+	}
+}

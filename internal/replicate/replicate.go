@@ -23,9 +23,16 @@
 //     factory and reset per replication, so reusable engines
 //     (macsim.Engine, multihop.Simulator) amortize their setup across
 //     the whole batch at ~0 allocations per replication.
+//
+// Cancellation (RunContext) and error retries (Plan.MaxErrRetries) keep
+// those properties: cancellation is decided only at round boundaries, so
+// a cancelled run returns the bit-identical prefix of the uncancelled
+// one, and retry seeds are derived per (replication, attempt), so
+// recovery is schedule-independent too.
 package replicate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -80,6 +87,33 @@ type Plan struct {
 	// Workers bounds the goroutines running replications (0 or negative
 	// means GOMAXPROCS; 1 forces the serial path).
 	Workers int
+	// MaxErrRetries is the per-replication error budget: when a
+	// replication fails, it is re-run on a derived retry seed
+	// (rng.DeriveSeed(seed, "replicate.retry", attempt)) up to
+	// MaxErrRetries times before the error is surfaced. Retries are
+	// deterministic — the attempt-k seed of replication i is a pure
+	// function of the plan — so the merged result stays bit-identical at
+	// every worker count even when some replications recover. 0 keeps
+	// the historical fail-fast behavior.
+	MaxErrRetries int
+	// OnRound, when non-nil, is called after each round's fold with a
+	// progress snapshot. Calls happen serially on the controller
+	// goroutine, in round order, after errors are checked and before the
+	// stopping decision — so a job service can stream CI-so-far lines
+	// without perturbing the schedule. The callback must not retain the
+	// Summaries slice past the call.
+	OnRound func(RoundStatus)
+}
+
+// RoundStatus is the per-round progress snapshot passed to Plan.OnRound.
+type RoundStatus struct {
+	// Round is the 1-based round just folded; Reps the cumulative
+	// replications completed.
+	Round int
+	Reps  int
+	// Summaries snapshots every metric's moments after the fold, in
+	// metric order (mean, CI95, min/max, n).
+	Summaries []stats.Summary
 }
 
 // adaptive reports whether any stopping tolerance is configured.
@@ -97,8 +131,8 @@ func (p Plan) normalized() (Plan, error) {
 	if p.MaxReps < 1 {
 		errs = append(errs, fmt.Errorf("MaxReps = %d must be >= 1", p.MaxReps))
 	}
-	if p.MinReps < 0 || p.Tolerance < 0 || p.RelTolerance < 0 || p.BatchSize < 0 {
-		errs = append(errs, errors.New("negative MinReps/Tolerance/RelTolerance/BatchSize"))
+	if p.MinReps < 0 || p.Tolerance < 0 || p.RelTolerance < 0 || p.BatchSize < 0 || p.MaxErrRetries < 0 {
+		errs = append(errs, errors.New("negative MinReps/Tolerance/RelTolerance/BatchSize/MaxErrRetries"))
 	}
 	if len(errs) > 0 {
 		return p, errors.Join(errs...)
@@ -148,6 +182,15 @@ type Result struct {
 	// Converged reports whether an adaptive plan met its tolerance before
 	// exhausting MaxReps (always false for fixed-R plans).
 	Converged bool
+	// Cancelled reports that the context was cancelled before the plan
+	// finished. The Moments then hold exactly the rounds folded before
+	// cancellation — the bit-identical prefix of the uncancelled run —
+	// and Reps counts only those folded replications.
+	Cancelled bool
+	// Retried counts replication attempts that failed and were re-run on
+	// a retry seed (see Plan.MaxErrRetries). A replication that needed k
+	// extra attempts contributes k.
+	Retried int
 	// Moments holds the index-ordered fold of every metric.
 	Moments []stats.Welford
 }
@@ -167,9 +210,26 @@ func (r *Result) Summary(m int) stats.Summary { return r.Moments[m].Snapshot() }
 // bit-identical at every worker count; on error, the lowest-index
 // replication error is returned.
 func Run(p Plan, factory func() (Replicator, error)) (*Result, error) {
+	return RunContext(context.Background(), p, factory)
+}
+
+// RunContext executes the plan under a context. Cancellation is
+// round-synchronous, which is what keeps it deterministic: the context is
+// checked at every round boundary (and between replications inside a
+// round, so workers stop promptly), but only fully completed rounds are
+// ever folded. When ctx is cancelled mid-plan, RunContext returns a
+// non-nil Result holding the bit-identical prefix — exactly the moments
+// an uncancelled run would have had after the same rounds — with
+// Cancelled set, alongside ctx.Err(). Callers that treat the prefix as a
+// partial answer check res.Cancelled; callers that treat cancellation as
+// failure just propagate the error.
+func RunContext(ctx context.Context, p Plan, factory func() (Replicator, error)) (*Result, error) {
 	p, err := p.normalized()
 	if err != nil {
 		return nil, fmt.Errorf("replicate: invalid plan: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return &Result{Cancelled: true, Moments: make([]stats.Welford, p.Metrics)}, err
 	}
 	workers := make([]Replicator, p.Workers)
 	for i := range workers {
@@ -186,14 +246,25 @@ func Run(p Plan, factory func() (Replicator, error)) (*Result, error) {
 	values := make([]float64, p.MaxReps*p.Metrics)
 	errs := make([]error, p.MaxReps)
 	res := &Result{Moments: make([]stats.Welford, p.Metrics)}
+	var retried atomic.Int64
 
 	done, target := 0, p.MinReps
 	for {
-		runRound(p, workers, values, errs, done, target)
+		runRound(ctx, p, workers, values, errs, done, target, &retried)
+		if err := ctx.Err(); err != nil {
+			// The round that was in flight is discarded wholesale: folding
+			// a partial round would make the moments depend on which
+			// replications happened to finish before the cancel.
+			res.Reps = done
+			res.Cancelled = true
+			res.Retried = int(retried.Load())
+			return res, err
+		}
 		// Errors surface in index order, like forEachIndex.
 		for i := done; i < target; i++ {
 			if errs[i] != nil {
-				return nil, fmt.Errorf("replicate: replication %d: %w", i, errs[i])
+				return nil, fmt.Errorf("replicate: replication %d (after %d retries): %w",
+					i, p.MaxErrRetries, errs[i])
 			}
 		}
 		// Fold the round as one block per metric, merged in index order:
@@ -207,6 +278,13 @@ func Run(p Plan, factory func() (Replicator, error)) (*Result, error) {
 		}
 		done = target
 		res.Rounds++
+		if p.OnRound != nil {
+			st := RoundStatus{Round: res.Rounds, Reps: done, Summaries: make([]stats.Summary, p.Metrics)}
+			for m := range res.Moments {
+				st.Summaries[m] = res.Moments[m].Snapshot()
+			}
+			p.OnRound(st)
+		}
 		if p.adaptive() && done >= p.MinReps && done >= 2 {
 			w := &res.Moments[p.Target]
 			ci := w.CI95()
@@ -225,6 +303,7 @@ func Run(p Plan, factory func() (Replicator, error)) (*Result, error) {
 		}
 	}
 	res.Reps = done
+	res.Retried = int(retried.Load())
 	return res, nil
 }
 
@@ -235,10 +314,18 @@ func RunFunc(p Plan, f Func) (*Result, error) {
 	return Run(p, func() (Replicator, error) { return f, nil })
 }
 
+// RunFuncContext is RunFunc under a context (see RunContext).
+func RunFuncContext(ctx context.Context, p Plan, f Func) (*Result, error) {
+	return RunContext(ctx, p, func() (Replicator, error) { return f, nil })
+}
+
 // runRound executes replications [lo, hi) across the worker Replicators.
 // Each replication writes only its own metric slots and error slot, so
-// results are independent of which worker claims which index.
-func runRound(p Plan, workers []Replicator, values []float64, errs []error, lo, hi int) {
+// results are independent of which worker claims which index. Workers
+// check ctx between replications and stop claiming once it is cancelled;
+// the caller then discards the partial round, so the check affects
+// wall-clock only, never the folded moments.
+func runRound(ctx context.Context, p Plan, workers []Replicator, values []float64, errs []error, lo, hi int, retried *atomic.Int64) {
 	span := hi - lo
 	nw := len(workers)
 	if nw > span {
@@ -246,10 +333,22 @@ func runRound(p Plan, workers []Replicator, values []float64, errs []error, lo, 
 	}
 	runOne := func(r Replicator, i int) {
 		seed := rng.DeriveSeed(p.BaseSeed, p.Stream, i)
-		errs[i] = r.Replicate(seed, values[i*p.Metrics:(i+1)*p.Metrics:(i+1)*p.Metrics])
+		out := values[i*p.Metrics : (i+1)*p.Metrics : (i+1)*p.Metrics]
+		err := r.Replicate(seed, out)
+		// Failed replications re-run on seeds derived from the primary
+		// seed, so the attempt-k stream of replication i never collides
+		// with any primary stream and is the same at every worker count.
+		for k := 1; err != nil && k <= p.MaxErrRetries && ctx.Err() == nil; k++ {
+			retried.Add(1)
+			err = r.Replicate(rng.DeriveSeed(seed, "replicate.retry", k), out)
+		}
+		errs[i] = err
 	}
 	if nw <= 1 {
 		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			runOne(workers[0], i)
 		}
 		return
@@ -264,6 +363,9 @@ func runRound(p Plan, workers []Replicator, values []float64, errs []error, lo, 
 		go func(r Replicator) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= hi {
 					return

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// jobQueue is the bounded priority queue between Submit and the worker
+// pool. Ordering is (priority descending, submission order ascending):
+// higher priorities run first, equal priorities are FIFO. Capacity counts
+// waiting jobs only; a push against a full queue fails fast with
+// ErrQueueFull — that sentinel is the whole backpressure story.
+type jobQueue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	items    jobHeap
+	cap      int
+	closed   bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job, failing with ErrQueueFull at capacity and
+// ErrDraining after close.
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if len(q.items) >= q.cap {
+		return fmt.Errorf("%w (capacity %d)", ErrQueueFull, q.cap)
+	}
+	heap.Push(&q.items, j)
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed; ok is
+// false only when the queue is closed (remaining items are drained by
+// close itself, so closed means empty).
+func (q *jobQueue) pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.items).(*Job), true
+}
+
+// close stops intake, wakes every blocked pop, and returns the jobs
+// still waiting (the caller cancels them — they must not run).
+func (q *jobQueue) close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	drained := make([]*Job, len(q.items))
+	copy(drained, q.items)
+	q.items = nil
+	q.nonEmpty.Broadcast()
+	return drained
+}
+
+// depth reports the number of waiting jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// jobHeap orders jobs by priority (desc) then submission sequence (asc).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func queuedJob(seq uint64, prio int) *Job {
+	return &Job{
+		ID:       "t" + string(rune('0'+seq)),
+		Priority: prio,
+		seq:      seq,
+		state:    StateQueued,
+		done:     make(chan struct{}),
+	}
+}
+
+func TestQueuePopsByPriorityThenFIFO(t *testing.T) {
+	q := newJobQueue(10)
+	// Mixed priorities, submitted out of order; equal priorities must pop
+	// in submission order.
+	for _, spec := range []struct {
+		seq  uint64
+		prio int
+	}{{1, 5}, {2, 9}, {3, 5}, {4, 9}, {5, 0}} {
+		if err := q.push(queuedJob(spec.seq, spec.prio)); err != nil {
+			t.Fatalf("push(seq=%d): %v", spec.seq, err)
+		}
+	}
+	wantSeq := []uint64{2, 4, 1, 3, 5}
+	for i, want := range wantSeq {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue reported closed", i)
+		}
+		if j.seq != want {
+			t.Errorf("pop %d: seq = %d, want %d", i, j.seq, want)
+		}
+	}
+	if d := q.depth(); d != 0 {
+		t.Errorf("depth after draining = %d, want 0", d)
+	}
+}
+
+func TestQueueFullIsSentinel(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.push(queuedJob(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(queuedJob(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	err := q.push(queuedJob(3, 5))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push over capacity: err = %v, want errors.Is(err, ErrQueueFull)", err)
+	}
+	// Backpressure must clear once a slot frees up.
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.push(queuedJob(3, 5)); err != nil {
+		t.Fatalf("push after pop: %v", err)
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newJobQueue(2)
+	got := make(chan bool, 1)
+	go func() {
+		_, ok := q.pop()
+		got <- ok
+	}()
+	// Give the goroutine a beat to block in pop.
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-got:
+		if ok {
+			t.Error("pop on closed empty queue returned ok = true")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop still blocked after close")
+	}
+}
+
+func TestQueueCloseDrainsWaitingJobs(t *testing.T) {
+	q := newJobQueue(4)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := q.push(queuedJob(seq, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drained := q.close()
+	if len(drained) != 3 {
+		t.Fatalf("close drained %d jobs, want 3", len(drained))
+	}
+	if err := q.push(queuedJob(9, 5)); !errors.Is(err, ErrDraining) {
+		t.Errorf("push after close: err = %v, want ErrDraining", err)
+	}
+	if _, ok := q.pop(); ok {
+		t.Error("pop after close returned a job")
+	}
+	if q.close() != nil {
+		t.Error("second close returned jobs")
+	}
+}

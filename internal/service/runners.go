@@ -1,0 +1,277 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"selfishmac/internal/experiments"
+	"selfishmac/internal/multihop"
+	"selfishmac/internal/replicate"
+	"selfishmac/internal/rng"
+	"selfishmac/internal/topology"
+)
+
+// registerBuiltins wires the production job kinds.
+func registerBuiltins(s *Server) {
+	s.RegisterRunner("replicate", runReplicateJob)
+	s.RegisterRunner("experiment", runExperimentJob)
+}
+
+// ReplicateParams parameterizes a "replicate" job: an adaptively
+// replicated spatial simulation at one uniform-CW operating point,
+// streaming per-round progress. Zero fields take the documented defaults.
+type ReplicateParams struct {
+	// Nodes, Width, Height, Range, TopoSeed describe the topology
+	// (defaults: the sparse 50-node acceptance network).
+	Nodes    int     `json:"nodes,omitempty"`
+	Width    float64 `json:"width,omitempty"`
+	Height   float64 `json:"height,omitempty"`
+	Range    float64 `json:"range,omitempty"`
+	TopoSeed uint64  `json:"topo_seed,omitempty"`
+	// CW is the uniform contention window (default 116, the RTS/CTS NE
+	// window of the default network).
+	CW int `json:"cw,omitempty"`
+	// DurationUs is the simulated time per replication in microseconds
+	// (default 2e6).
+	DurationUs float64 `json:"duration_us,omitempty"`
+	// BaseSeed scopes the replication seed streams (default 1).
+	BaseSeed uint64 `json:"base_seed,omitempty"`
+	// MinReps/MaxReps/BatchSize/RelCI drive the adaptive schedule
+	// (defaults 3/24/3/0.05). RelCI <= 0 disables adaptive stopping.
+	MinReps   int     `json:"min_reps,omitempty"`
+	MaxReps   int     `json:"max_reps,omitempty"`
+	BatchSize int     `json:"batch_size,omitempty"`
+	RelCI     float64 `json:"rel_ci,omitempty"`
+	// MaxErrRetries is the per-replication deterministic retry budget.
+	MaxErrRetries int `json:"max_err_retries,omitempty"`
+	// Workers bounds the replication pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+func (p *ReplicateParams) applyDefaults() {
+	if p.Nodes <= 0 {
+		p.Nodes = 50
+	}
+	if p.Width <= 0 {
+		p.Width = 1000
+	}
+	if p.Height <= 0 {
+		p.Height = 1000
+	}
+	if p.Range <= 0 {
+		p.Range = 180
+	}
+	if p.TopoSeed == 0 {
+		p.TopoSeed = 11
+	}
+	if p.CW <= 0 {
+		p.CW = 116
+	}
+	if p.DurationUs <= 0 {
+		p.DurationUs = 2e6
+	}
+	if p.BaseSeed == 0 {
+		p.BaseSeed = 1
+	}
+	if p.MinReps <= 0 {
+		p.MinReps = 3
+	}
+	if p.MaxReps <= 0 {
+		p.MaxReps = 24
+	}
+	if p.BatchSize <= 0 {
+		p.BatchSize = 3
+	}
+	if p.RelCI == 0 {
+		p.RelCI = 0.05
+	}
+}
+
+// MetricView is one metric's mean ± CI95 snapshot.
+type MetricView struct {
+	Name string  `json:"name"`
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+// ReplicateProgress is one progress line of a "replicate" job.
+type ReplicateProgress struct {
+	Round   int          `json:"round"`
+	Reps    int          `json:"reps"`
+	Metrics []MetricView `json:"metrics"`
+}
+
+// ReplicateResult is the terminal payload of a "replicate" job. On a
+// cancelled job it carries the deterministic prefix (Cancelled true).
+type ReplicateResult struct {
+	Reps      int          `json:"reps"`
+	Rounds    int          `json:"rounds"`
+	Converged bool         `json:"converged"`
+	Cancelled bool         `json:"cancelled"`
+	Retried   int          `json:"retried"`
+	Metrics   []MetricView `json:"metrics"`
+}
+
+// replicateMetricNames matches svcReplicator's metric layout.
+var replicateMetricNames = []string{"global_payoff_rate", "hidden_fraction"}
+
+// svcReplicator adapts a reusable multihop Simulator to the replication
+// layer: metric 0 is the network-wide payoff rate (the adaptive target),
+// metric 1 the hidden-terminal loss fraction.
+type svcReplicator struct{ sim *multihop.Simulator }
+
+func (r svcReplicator) Replicate(seed uint64, out []float64) error {
+	r.sim.Reset(seed)
+	res, err := r.sim.Run()
+	if err != nil {
+		return err
+	}
+	out[0] = res.GlobalPayoffRate()
+	out[1] = res.HiddenFraction
+	return nil
+}
+
+func runReplicateJob(ctx context.Context, raw json.RawMessage, progress func(v any)) (any, error) {
+	var p ReplicateParams
+	if err := decodeParams(raw, &p); err != nil {
+		return nil, fmt.Errorf("service: bad replicate params: %w", err)
+	}
+	p.applyDefaults()
+
+	nw, err := topology.New(topology.Config{
+		N: p.Nodes, Width: p.Width, Height: p.Height, Range: p.Range, Seed: p.TopoSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: replicate topology: %w", err)
+	}
+	cfg := multihop.DefaultSimConfig(p.DurationUs, rng.DeriveSeed(p.BaseSeed, "service.replicate.sim", 0))
+	cw := make([]int, p.Nodes)
+	for i := range cw {
+		cw[i] = p.CW
+	}
+	cfg.CW = cw
+
+	plan := replicate.Plan{
+		BaseSeed:      p.BaseSeed,
+		Stream:        "service.replicate",
+		Metrics:       len(replicateMetricNames),
+		Target:        0,
+		RelTolerance:  max(p.RelCI, 0), // RelCI <= 0 disables adaptive stopping
+		MinReps:       p.MinReps,
+		MaxReps:       p.MaxReps,
+		BatchSize:     p.BatchSize,
+		Workers:       p.Workers,
+		MaxErrRetries: p.MaxErrRetries,
+		OnRound: func(st replicate.RoundStatus) {
+			pr := ReplicateProgress{Round: st.Round, Reps: st.Reps}
+			for m, sum := range st.Summaries {
+				pr.Metrics = append(pr.Metrics, MetricView{
+					Name: replicateMetricNames[m], Mean: sum.Mean, CI95: sum.CI95, N: sum.N,
+				})
+			}
+			progress(pr)
+		},
+	}
+	res, err := replicate.RunContext(ctx, plan, func() (replicate.Replicator, error) {
+		sim, err := multihop.NewSimulator(nw, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return svcReplicator{sim}, nil
+	})
+	if res == nil {
+		return nil, err
+	}
+	view := &ReplicateResult{
+		Reps:      res.Reps,
+		Rounds:    res.Rounds,
+		Converged: res.Converged,
+		Cancelled: res.Cancelled,
+		Retried:   res.Retried,
+	}
+	for m, name := range replicateMetricNames {
+		sum := res.Summary(m)
+		view.Metrics = append(view.Metrics, MetricView{Name: name, Mean: sum.Mean, CI95: sum.CI95, N: sum.N})
+	}
+	// On cancellation both the prefix result and ctx's error propagate:
+	// the worker stores the partial view and marks the job Cancelled.
+	return view, err
+}
+
+// ExperimentParams parameterizes an "experiment" job: one registered
+// paper experiment (see internal/experiments.All) by ID.
+type ExperimentParams struct {
+	// ID names the experiment ("T2", "F3", "A9", ...).
+	ID string `json:"id"`
+	// Profile is "quick" (default) or "paper".
+	Profile string `json:"profile,omitempty"`
+	// Seed overrides the master seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds the experiment's internal fan-out (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// ExperimentResult is the terminal payload of an "experiment" job.
+type ExperimentResult struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Text    string             `json:"text"`
+}
+
+func runExperimentJob(ctx context.Context, raw json.RawMessage, progress func(v any)) (any, error) {
+	var p ExperimentParams
+	if err := decodeParams(raw, &p); err != nil {
+		return nil, fmt.Errorf("service: bad experiment params: %w", err)
+	}
+	runner, ok := experiments.ByID(p.ID)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown experiment %q", p.ID)
+	}
+	var settings experiments.Settings
+	switch p.Profile {
+	case "", "quick":
+		settings = experiments.QuickSettings()
+	case "paper":
+		settings = experiments.DefaultSettings()
+	default:
+		return nil, fmt.Errorf("service: unknown profile %q (want quick or paper)", p.Profile)
+	}
+	if p.Seed != 0 {
+		settings.Seed = p.Seed
+	}
+	settings.Workers = p.Workers
+
+	progress(map[string]any{"event": "started", "experiment": runner.ID, "profile": settingsProfile(p.Profile)})
+	rep, err := runner.Run(ctx, settings)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("service: experiment %s: %w", runner.ID, err)
+	}
+	progress(map[string]any{"event": "finished", "experiment": runner.ID, "metrics": len(rep.Metrics)})
+	return &ExperimentResult{ID: rep.ID, Title: rep.Title, Metrics: rep.Metrics, Text: rep.Text}, nil
+}
+
+func settingsProfile(p string) string {
+	if p == "" {
+		return "quick"
+	}
+	return p
+}
+
+// decodeParams strictly decodes a job's params blob, rejecting unknown
+// fields so typos fail loudly at submit-to-run time, not silently.
+func decodeParams(raw json.RawMessage, v any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
