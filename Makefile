@@ -3,7 +3,7 @@
 # How long `test-fuzz` spends per fuzz target.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-diff test-fuzz test-race smoke-daemon cover bench bench-quick bench-json bench-replicate experiments experiments-quick fmt
+.PHONY: all build vet test test-diff test-fuzz test-race smoke-daemon cover bench bench-quick bench-json bench-replicate bench-smoke profile experiments experiments-quick fmt
 
 all: build test test-race
 
@@ -70,6 +70,20 @@ bench-quick:
 # that touches a simulator hot loop.
 bench-json:
 	go run ./cmd/bench -out BENCH_sim.json
+
+# Smoke-check the bench harness itself: the smallest scenario set, one
+# iteration, quick durations, written to a scratch file (never clobbers
+# the committed BENCH_sim.json). CI runs this to catch scenario-setup
+# bit-rot without asserting anything about timing.
+bench-smoke:
+	go run ./cmd/bench -quick -benchtime 1x -only macsim -out /tmp/bench-smoke.json
+
+# Capture CPU and heap profiles of the n=1000 multihop scenario (the
+# fire-slot calendar's home turf). Inspect with `go tool pprof cpu.pprof`.
+profile:
+	go run ./cmd/bench -quick -only mobile-n1000-w26 -benchtime 5x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -out /tmp/bench-profile.json
+	@echo "wrote cpu.pprof and mem.pprof"
 
 # Regenerate BENCH_replicate.json, the replication-layer trajectory:
 # fresh vs reused engine allocs/op, fixed-R wall-clock at 1/2/4/8

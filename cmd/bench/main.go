@@ -10,6 +10,7 @@
 // Usage:
 //
 //	bench [-out BENCH_sim.json] [-quick] [-benchtime 1s] [-only substr]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The default profile runs paper-faithful scenario durations (seconds of
 // simulated time per op); -quick shrinks them for smoke runs. -benchtime
@@ -30,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"testing"
@@ -270,6 +272,34 @@ func scenarios(quick bool) ([]scenario, error) {
 	}
 	out = append(out, s)
 
+	// Population scale: n=5000 and n=10000 at the same density, the
+	// regime the fire-slot calendar exists for — the old per-event O(n)
+	// min-scan grew linearly with n while the event's real work (one
+	// neighborhood) stayed constant. Durations shrink again to keep the
+	// reference loop — O(n) per slot — to seconds per op.
+	mh5000, mh10000 := 1e6, 5e5
+	if quick {
+		mh5000, mh10000 = 1e5, 5e4
+	}
+	giant := topology.Config{N: 5000, Width: 7071, Height: 7071, Range: 250, MaxSpeed: 5, Seed: 23}
+	cfg5000 := multihop.DefaultSimConfig(mh5000, 23)
+	cfg5000.CW = uniformCW(26, 5000)
+	cfg5000.MobilityEvery = 5e5
+	s, err = multihopScenario("multihop/mobile-n5000-w26", giant, cfg5000)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+	colossal := topology.Config{N: 10000, Width: 10000, Height: 10000, Range: 250, MaxSpeed: 5, Seed: 29}
+	cfg10000 := multihop.DefaultSimConfig(mh10000, 29)
+	cfg10000.CW = uniformCW(26, 10000)
+	cfg10000.MobilityEvery = 2.5e5
+	s, err = multihopScenario("multihop/mobile-n10000-w26", colossal, cfg10000)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+
 	// The adjacency build in isolation: how much of the n² the grid
 	// actually removes at these populations.
 	s, err = adjacencyScenario("topology/adjacency-n500", big)
@@ -278,6 +308,11 @@ func scenarios(quick bool) ([]scenario, error) {
 	}
 	out = append(out, s)
 	s, err = adjacencyScenario("topology/adjacency-n1000", huge)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+	s, err = adjacencyScenario("topology/adjacency-n10000", colossal)
 	if err != nil {
 		return nil, err
 	}
@@ -324,8 +359,35 @@ func run(ctx context.Context, args []string) error {
 	benchtime := fs.String("benchtime", "1s", "per-benchmark time or iteration count (forwarded to the testing package, e.g. 200ms or 3x)")
 	only := fs.String("only", "", "run only scenarios whose name contains this substring")
 	repl := fs.Bool("replicate", false, "benchmark the replication layer instead of the engine suite (writes BENCH_replicate.json unless -out is set)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file when the run completes")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			}
+		}()
 	}
 	testing.Init()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -352,8 +414,8 @@ func run(ctx context.Context, args []string) error {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Profile:    profile,
-		Note: "ns/op, allocs/op and events/sec for the event-skipping simulator engines " +
-			"(fast) vs the pinned reference loops; speedups are reference-ns / fast-ns. " +
+		Note: "ns/op, allocs/op, bytes/op and events/sec for the event-skipping simulator " +
+			"engines (fast) vs the pinned reference loops; speedups are reference-ns / fast-ns. " +
 			"Regenerate with `make bench-json`.",
 		Speedups: map[string]float64{},
 	}
@@ -380,8 +442,8 @@ func run(ctx context.Context, args []string) error {
 		if fast.NsPerOp > 0 {
 			file.Speedups[sc.name] = ref.NsPerOp / fast.NsPerOp
 		}
-		fmt.Printf("%-28s fast %12.0f ns/op %6d allocs/op %12.0f events/s | ref %12.0f ns/op | speedup %.2fx\n",
-			sc.name, fast.NsPerOp, fast.AllocsPerOp, fast.EventsPerSec, ref.NsPerOp, file.Speedups[sc.name])
+		fmt.Printf("%-30s fast %12.0f ns/op %6d allocs/op %10d B/op %12.0f events/s | ref %12.0f ns/op | speedup %.2fx\n",
+			sc.name, fast.NsPerOp, fast.AllocsPerOp, fast.BytesPerOp, fast.EventsPerSec, ref.NsPerOp, file.Speedups[sc.name])
 	}
 	if len(file.Benchmarks) == 0 {
 		if interrupted {

@@ -34,8 +34,11 @@ func TestBenchWritesJSON(t *testing.T) {
 		"multihop/mobile-n100-w26",
 		"multihop/mobile-n500-w26",
 		"multihop/mobile-n1000-w26",
+		"multihop/mobile-n5000-w26",
+		"multihop/mobile-n10000-w26",
 		"topology/adjacency-n500",
 		"topology/adjacency-n1000",
+		"topology/adjacency-n10000",
 	}
 	if len(f.Benchmarks) != 2*len(wantScenarios) {
 		t.Fatalf("got %d benchmark entries, want %d", len(f.Benchmarks), 2*len(wantScenarios))

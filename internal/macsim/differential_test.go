@@ -62,6 +62,18 @@ func diffConfigs(t testing.TB) []Config {
 	gc := mk(basic, 6, uniform(64, 3), 1e6, 18)
 	gc.Gain, gc.Cost = 2.5, 0.3
 	cfgs = append(cfgs, gc)
+	// Calendar-growth forcers: the compact calendar starts at the stage-0
+	// horizon, so configurations whose collisions push draws far past it
+	// exercise the mid-run doubling/re-file path. Tiny windows at a high
+	// stage cap collide constantly (draws up to 2 << 12 against an
+	// initial 64-bucket calendar); the wide-spread profile mixes an
+	// always-growing pair with bystanders whose queued entries must
+	// survive the re-file intact.
+	cfgs = append(cfgs,
+		mk(basic, 12, uniform(2, 8), 1e6, 19),
+		mk(basic, 10, []int{1, 1, 700, 1200}, 1e6, 20),
+		mk(rtscts, 14, []int{3, 3, 3, 64}, 5e5, 21),
+	)
 	return cfgs
 }
 
@@ -169,6 +181,48 @@ func TestFastEngineHotLoopAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("hot loop (reset+run) allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestCalendarGrowsLazily pins the compact-calendar contract: the engine
+// starts at the stage-0 horizon (not the cw << MaxStage worst case), the
+// mid-run doubling actually engages for collision-heavy configs, the
+// grown run still matches the reference bit for bit, and the grown
+// capacity is retained so subsequent reset+run pairs allocate nothing.
+func TestCalendarGrowsLazily(t *testing.T) {
+	cfg := Config{
+		Timing:   phy.Default().MustTiming(phy.Basic),
+		MaxStage: 12,
+		CW:       uniform(2, 8),
+		Duration: 1e6,
+		Seed:     19,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	e, ok := newFastEngine(&cfg)
+	if !ok {
+		t.Fatal("fast engine rejected a growable config")
+	}
+	if got := len(e.head); got != 64 {
+		t.Fatalf("initial calendar capacity %d, want the 64-bucket floor (stage-0 horizon)", got)
+	}
+	got := e.run()
+	if grown := len(e.head); grown <= 64 {
+		t.Fatalf("calendar capacity still %d after a collision-heavy run; growth never engaged", grown)
+	}
+	want, err := RunReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("grown calendar diverged from reference:\nfast: %+v\nref:  %+v", got, want)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		e.reset()
+		e.run()
+	})
+	if allocs != 0 {
+		t.Fatalf("post-growth hot loop allocated %.1f objects per run, want 0 (capacity must be retained)", allocs)
 	}
 }
 

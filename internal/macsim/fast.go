@@ -28,14 +28,24 @@ import (
 // values, and computes identical statistics. The differential tests pin
 // byte-identical Results.
 //
-// The hot loop performs no allocations after setup: the calendar is an
-// intrusive singly-linked list over preallocated arrays, the PRNG is
-// embedded by value, and the transmitter scratch slice is reused.
+// The hot loop performs no steady-state allocations: the calendar is an
+// intrusive singly-linked list over engine-owned arrays, the PRNG is
+// embedded by value, and the transmitter scratch slice is reused. The
+// only allocation after setup is a calendar doubling the first time a
+// backed-off draw outreaches the current capacity — capacity is then
+// retained across reset and reconfigure, so repeated runs settle at
+// zero allocations.
 
 // fastWindowCap bounds the calendar size: the largest supported
 // contention window (cw << maxStage). Configurations beyond it — far
 // outside any 802.11 parameterisation — fall back to the reference loop.
 const fastWindowCap = 1 << 20
+
+// fastNodeCap bounds the population: calendar links are int16 node ids
+// (halving the dominant per-bucket cost), so a single collision domain
+// beyond 32767 nodes — far outside the paper's ≤100 — falls back to the
+// reference loop rather than widening every bucket.
+const fastNodeCap = 1<<15 - 1
 
 type fastEngine struct {
 	cfg *Config
@@ -49,13 +59,20 @@ type fastEngine struct {
 	tc     []float64 // collision-hold contribution (PerNodeTc or Timing.Tc)
 
 	// Bucketed calendar queue over expiry slots. bucket(b) is an
-	// intrusive list head[b] -> next[...] of node ids; occ is a bitmap of
-	// non-empty buckets. Capacity exceeds the largest window, so all live
-	// expiries fit in one wrap of the calendar and every non-empty bucket
-	// holds nodes of exactly one expiry value.
+	// intrusive list head[b] -> next[...] of int16 node ids (-1 ends a
+	// list); occ is a bitmap of non-empty buckets. The calendar is
+	// compact and lazily grown: it
+	// starts sized to the stage-0 windows (the live expiry horizon of a
+	// fresh run) and doubles — re-filing every queued node — only when a
+	// backed-off draw actually outreaches it, instead of paying the
+	// worst-case cw << MaxStage span up front. Capacity never shrinks
+	// while the engine lives, so every filed expiry lies within one
+	// calendar wrap of the current slot and every non-empty bucket holds
+	// nodes of exactly one expiry value (the invariant nextBucket and the
+	// bucket-drain rely on).
 	mask int64
-	head []int32
-	next []int32
+	head []int16
+	next []int16
 	occ  []uint64
 
 	src          rng.Source
@@ -68,20 +85,24 @@ type fastEngine struct {
 // reference fallback.
 func newFastEngine(cfg *Config) (*fastEngine, bool) {
 	n := len(cfg.CW)
-	maxWindow := 0
+	if n > fastNodeCap {
+		return nil, false
+	}
+	maxCW0 := 0
 	for _, w := range cfg.CW {
 		if w > fastWindowCap>>uint(cfg.MaxStage) {
 			return nil, false
 		}
-		if win := w << uint(cfg.MaxStage); win > maxWindow {
-			maxWindow = win
+		if w > maxCW0 {
+			maxCW0 = w
 		}
 	}
-	// One wrap of the calendar must cover every live expiry: expiries lie
-	// in [cur, cur+maxWindow-1], so any power of two > maxWindow-1 works;
-	// use the next power of two >= maxWindow+1.
+	// Size the calendar to the live expiry horizon of a fresh run — the
+	// stage-0 windows — not the worst-case cw << MaxStage span. Draws are
+	// in [0, w-1], so any power of two >= maxCW0 covers them; grow()
+	// doubles on demand when collisions push a window beyond this.
 	b := 64
-	for int64(b) < int64(maxWindow)+1 {
+	for int64(b) < int64(maxCW0) {
 		b <<= 1
 	}
 	e := &fastEngine{
@@ -93,8 +114,8 @@ func newFastEngine(cfg *Config) (*fastEngine, bool) {
 		ts:           make([]float64, n),
 		tc:           make([]float64, n),
 		mask:         int64(b) - 1,
-		head:         make([]int32, b),
-		next:         make([]int32, n),
+		head:         make([]int16, b),
+		next:         make([]int16, n),
 		occ:          make([]uint64, b/64),
 		transmitters: make([]int, 0, n),
 	}
@@ -119,26 +140,19 @@ func newFastEngine(cfg *Config) (*fastEngine, bool) {
 // reconfigure re-derives the per-config state (window copies, per-node
 // hold times) after the owning Engine mutated *e.cfg in place, then
 // resets. It reports ok=false when the new configuration does not fit the
-// allocated buffers — node count changed, calendar too small for the new
-// maximum window — or needs the reference fallback; the caller rebuilds
-// in that case. On success it allocates nothing.
+// allocated buffers — node count changed — or needs the reference
+// fallback; the caller rebuilds in that case. Larger windows are not a
+// rebuild reason anymore: the calendar grows on demand, so on success
+// the steady-state (same shape) path allocates nothing.
 func (e *fastEngine) reconfigure() bool {
 	cfg := e.cfg
 	if len(cfg.CW) != e.n {
 		return false
 	}
-	maxWindow := 0
 	for _, w := range cfg.CW {
 		if w > fastWindowCap>>uint(cfg.MaxStage) {
 			return false
 		}
-		if win := w << uint(cfg.MaxStage); win > maxWindow {
-			maxWindow = win
-		}
-	}
-	// One calendar wrap must still cover every live expiry.
-	if int64(maxWindow) >= int64(len(e.head)) {
-		return false
 	}
 	copy(e.cw, cfg.CW)
 	for i := 0; i < e.n; i++ {
@@ -178,15 +192,50 @@ func (e *fastEngine) reset() {
 }
 
 // enqueue draws a fresh backoff for node i at virtual slot cur and files
-// it in the calendar.
+// it in the calendar, growing it first when the draw outreaches the
+// current capacity.
 func (e *fastEngine) enqueue(i int, cur int64) {
 	c := backoff.Draw(&e.src, e.cw[i], e.stage[i], e.cfg.MaxStage)
+	if int64(c) >= int64(len(e.head)) {
+		e.grow(int64(c))
+	}
 	exp := cur + int64(c)
 	e.expiry[i] = exp
 	b := exp & e.mask
 	e.next[i] = e.head[b]
-	e.head[b] = int32(i)
+	e.head[b] = int16(i)
 	e.occ[b>>6] |= 1 << uint(b&63)
+}
+
+// grow doubles the calendar until one wrap covers a draw of span slots,
+// then re-files every queued node into the new buckets. Re-filing walks
+// the old bucket lists — not expiry[] — because mid-event transmitters
+// have stale expiries and are not queued; they re-enqueue themselves
+// right after. Filing order within a bucket is irrelevant: the drain
+// sorts transmitters before acting. Growth is rare (once per doubling,
+// never undone), so the rebuild cost amortizes to nothing.
+func (e *fastEngine) grow(span int64) {
+	b := int64(len(e.head))
+	for b <= span {
+		b <<= 1
+	}
+	head := make([]int16, b)
+	for i := range head {
+		head[i] = -1
+	}
+	occ := make([]uint64, b/64)
+	mask := b - 1
+	for _, h := range e.head {
+		for i := h; i >= 0; {
+			ni := e.next[i]
+			nb := e.expiry[i] & mask
+			e.next[i] = head[nb]
+			head[nb] = int16(i)
+			occ[nb>>6] |= 1 << uint(nb&63)
+			i = ni
+		}
+	}
+	e.head, e.occ, e.mask = head, occ, mask
 }
 
 // nextBucket returns the first non-empty bucket at or cyclically after

@@ -102,6 +102,12 @@ func diffCases(t *testing.T) []diffCase {
 	churnMasked300 := func(t *testing.T) Topology {
 		return &maskedTopology{base: randomNetworkSized(t, 300, 1732, 1732, 250, 28), active: mask300}
 	}
+	// Population scale, same density: the fire-slot calendar's target
+	// regime. Sampled durations keep the reference loop (O(n) per slot)
+	// to a couple of seconds per case.
+	sparse5000 := func(t *testing.T) Topology { return randomNetworkSized(t, 5000, 7071, 7071, 250, 33) }
+	mobile5000 := func(t *testing.T) Topology { return randomNetworkSized(t, 5000, 7071, 7071, 250, 34) }
+	grid10000 := func(t *testing.T) Topology { return randomNetworkSized(t, 10000, 10000, 10000, 250, 35) }
 
 	mob := func(cfg SimConfig, every float64) SimConfig {
 		cfg.MobilityEvery = every
@@ -134,6 +140,12 @@ func diffCases(t *testing.T) []diffCase {
 		{"mobile1000-grid", mobile1000, mob(simCfg(phy.RTSCTS, uniformCW(26, 1000), 1e5, 26), 2e4)},
 		{"range-exceeds-area", bigRange, simCfg(phy.RTSCTS, uniformCW(48, 12), 1e6, 27)},
 		{"churn-masked-300", churnMasked300, simCfg(phy.RTSCTS, uniformCW(64, 300), 2e5, 28)},
+		// The calendar at scale: thousands of concurrent heap entries,
+		// constant lazy-shift repair under carrier-sense churn, mobility
+		// re-snapshots at n=5000, and the n=10000 static grid path.
+		{"sparse5000-static", sparse5000, simCfg(phy.RTSCTS, uniformCW(26, 5000), 1e5, 33)},
+		{"mobile5000", mobile5000, mob(simCfg(phy.RTSCTS, uniformCW(26, 5000), 5e4, 34), 2e4)},
+		{"grid10000-static", grid10000, simCfg(phy.RTSCTS, uniformCW(26, 10000), 5e4, 35)},
 	}
 }
 
@@ -248,7 +260,7 @@ func TestDifferentialEngineStagesWithChurn(t *testing.T) {
 func TestDifferentialCaseCount(t *testing.T) {
 	// The acceptance criterion asks for a matrix of >= 20 configs across
 	// the two simulators; keep the combined count honest.
-	const macsimConfigs = 18 // see internal/macsim/differential_test.go
+	const macsimConfigs = 21 // see internal/macsim/differential_test.go
 	if got := len(diffCases(t)) + macsimConfigs; got < 20 {
 		t.Fatalf("differential matrix shrank to %d configs, need >= 20", got)
 	}

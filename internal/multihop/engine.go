@@ -115,8 +115,10 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 		churn = newChurnState(*e.churn, n)
 	}
 	trace := &Trace{ConvergedAt: -1}
-	observedBy := make([][][]int, n)
-	utilitiesOf := make([][]float64, n)
+	// The observation history is windowed to the strategies' declared
+	// depth when possible (see history.go), so long runs hold a constant
+	// number of stage views instead of all of them.
+	hist := newObsHistory(n, e.strategies)
 
 	// Per-stage scratch, allocated once: the masked churn view filters
 	// into its own reusable buffers, and grid-backed topologies refill
@@ -146,18 +148,9 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 			adj = nw.AdjacencyLists()
 		}
 
-		// The trace and the observation history retain this stage's
-		// profile and every node's local view, so carve them out of one
-		// per-stage slab instead of 1+n separate allocations.
-		slabLen := n
-		for i := range adj {
-			slabLen += 1 + len(adj[i])
-		}
-		slab := make([]int, slabLen)
-		profile := slab[:n:n]
-		off := n
+		profile := make([]int, n)
 		for i, s := range e.strategies {
-			w := s.ChooseCW(0, observedBy[i], utilitiesOf[i])
+			w := s.ChooseCW(0, hist.observed(i), hist.utilities(i))
 			if w < 1 {
 				w = 1
 			}
@@ -185,19 +178,9 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 			Active:         active,
 		})
 
-		for i := range e.strategies {
-			// A departed node observes only itself; its neighbors do not
-			// see it either (adj is the masked view).
-			end := off + 1 + len(adj[i])
-			local := slab[off:off:end]
-			off = end
-			local = append(local, profile[i])
-			for _, j := range adj[i] {
-				local = append(local, profile[j])
-			}
-			observedBy[i] = append(observedBy[i], local)
-			utilitiesOf[i] = append(utilitiesOf[i], rates[i])
-		}
+		// A departed node observes only itself; its neighbors do not see
+		// it either (adj is the masked view).
+		hist.record(adj, profile, rates)
 
 		if cw, ok := uniformProfile(profile, active); ok {
 			if uniformRun > 0 && cw == lastUniform {

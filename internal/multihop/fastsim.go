@@ -12,7 +12,12 @@ import (
 // at which it will next reach counter zero and act (its fire slot), and
 // jumps the clock directly to the minimum fire slot — the next event
 // horizon over counter expiries, busyUntil/txUntil freezes and pending
-// mobility steps. Idle slots are never visited.
+// mobility steps. Idle slots are never visited. The minimum is found
+// through the fire-slot calendar (fireheap.go), a lazy-shift min-heap
+// over (fire slot, node) keys: freeze shifts update fire[] only, stale
+// heap entries are repaired on pop, and valid same-slot entries surface
+// in ascending node order — so event selection is O(log n) instead of
+// the former O(n) scan, which dominated at n >= 1000.
 //
 // Freeze/resume accounting is carried in the fire slots themselves. With
 // "blocked" meaning max(busyUntil, txUntil) > t:
@@ -55,7 +60,9 @@ type simState struct {
 	adj          [][]int
 	src          rng.Source
 	nodes        []spatialNode
-	fire         []int64 // absolute slot at which the node next acts
+	fire         []int64  // absolute slot at which the node next acts
+	heap         fireHeap // fire-slot calendar; entries may lag fire[]
+	expired      []int    // scratch: this event's expired nodes, ascending
 	transmitters []int
 	receivers    []int
 	inTx         []bool
@@ -76,6 +83,8 @@ func (st *simState) init(nw Topology, mobile MobileTopology, cfg SimConfig) {
 	st.nw, st.mobile, st.cfg, st.n = nw, mobile, cfg, n
 	st.nodes = make([]spatialNode, n)
 	st.fire = make([]int64, n)
+	st.heap.init(n)
+	st.expired = make([]int, 0, n)
 	st.transmitters = make([]int, 0, n)
 	st.receivers = make([]int, n)
 	st.inTx = make([]bool, n)
@@ -123,6 +132,7 @@ func (st *simState) reset(seed uint64) {
 		st.nodes[i].draw(&st.src, st.cfg.MaxStage)
 		st.fire[i] = int64(st.nodes[i].counter)
 	}
+	st.heap.rebuild(st.fire)
 	for i := range st.res.Nodes {
 		st.res.Nodes[i] = NodeStats{}
 	}
@@ -141,18 +151,40 @@ func (st *simState) run() (*SimResult, error) {
 	receivers, inTx, drawn := st.receivers, st.inTx, st.drawn
 	adj := st.adj
 	res := &st.res
-	n := st.n
 	totalSlots := st.totalSlots
 	nextMobility := st.nextMobility
 	var totalAttempts, totalHidden int64
 
 	for {
-		// Jump to the next event horizon: the minimum fire slot.
-		t := fire[0]
-		for i := 1; i < n; i++ {
-			if fire[i] < t {
-				t = fire[i]
+		// Jump to the next event horizon: pop the calendar until a
+		// current entry surfaces. Entries whose node was freeze-shifted
+		// since filing carry a stale (smaller) slot; repair them by
+		// re-filing at the node's true fire slot. Because shifts only
+		// move fire slots forward, the heap minimum is always a lower
+		// bound on the true minimum, so the first current entry popped
+		// is exactly the minimum fire slot.
+		var t int64
+		expired := st.expired[:0]
+		for {
+			s, i := st.heap.pop()
+			if s != fire[i] {
+				st.heap.push(fire[i], i)
+				continue
 			}
+			t = s
+			expired = append(expired, i)
+			break
+		}
+		// Collect the rest of this slot's expiries. Keys tie-break on
+		// node id, so current entries pop in ascending node order — the
+		// order the reference loop acts them in.
+		for st.heap.len() > 0 && st.heap.minSlot() == t {
+			_, i := st.heap.pop()
+			if fire[i] != t {
+				st.heap.push(fire[i], i)
+				continue
+			}
+			expired = append(expired, i)
 		}
 		if t >= totalSlots {
 			// No further MAC event inside the run; apply the mobility
@@ -180,16 +212,14 @@ func (st *simState) run() (*SimResult, error) {
 
 		// Phase 1: expired nodes act in ascending node order.
 		transmitters := st.transmitters[:0]
-		for i := 0; i < n; i++ {
-			if fire[i] != t {
-				continue
-			}
+		for _, i := range expired {
 			if len(adj[i]) == 0 {
 				// Isolated node: redraw and stay in backoff. It resumes
 				// counting at t+1 (it cannot be blocked here, or it
 				// would not have fired).
 				nodes[i].draw(&st.src, cfg.MaxStage)
 				fire[i] = t + 1 + int64(nodes[i].counter)
+				st.heap.push(fire[i], i)
 				continue
 			}
 			transmitters = append(transmitters, i)
@@ -276,6 +306,7 @@ func (st *simState) run() (*SimResult, error) {
 				b = nodes[i].txUntil
 			}
 			fire[i] = b + int64(drawn[i])
+			st.heap.push(fire[i], i)
 			inTx[i] = false
 		}
 	}

@@ -1,0 +1,117 @@
+package multihop
+
+import "math/bits"
+
+// fireheap.go is the fire-slot calendar behind the event-skipping spatial
+// engine: a binary min-heap of packed (slot, node) keys that replaces the
+// per-event O(n) scan over fire[] with O(log n) pops — the scan was the
+// dominant cost at n >= 1000, where events are frequent but each touches
+// only a small neighborhood.
+//
+// The heap tolerates the freeze/resume slot-shift algebra by *lazy
+// shifting*: carrier-sense freezes move a neighbor's fire[k] forward
+// without touching the heap, so a node's heap entry may carry a stale
+// (smaller) slot. Staleness is detected on pop — the entry's slot no
+// longer equals fire[node] — and repaired by re-filing the entry at the
+// current fire slot. This is exact, not approximate, because shifts only
+// ever move fire slots *forward*: a stale entry sits below its node's true
+// slot, so it surfaces no later than it should, is re-filed, and the heap
+// minimum remains a lower bound on the true minimum fire slot at all
+// times. Every node has exactly one live entry (each pop is followed by
+// exactly one push: the stale re-file, the isolated redraw, or the
+// transmitter re-key), so the heap size is pinned at n and a full
+// stale-repair round costs O(n log n) worst case against the old scan's
+// guaranteed O(n) per event — amortized it is far cheaper, because a
+// frozen node is repaired once per freeze, not once per event.
+//
+// Keys pack (slot << nodeBits) | node into one int64, so heap ordering is
+// (slot, node) lexicographic and same-slot entries pop in ascending node
+// order — exactly the order the reference loop acts expired nodes in,
+// which the determinism contract requires. nodeBits is sized to the
+// population; slots fit comfortably in the remaining bits (a run of 2^40
+// slots at 50 µs/slot is ~1.7 years of simulated time).
+type fireHeap struct {
+	a        []int64
+	nodeBits uint
+	nodeMask int64
+}
+
+// init sizes the key packing for n nodes and preallocates the backing
+// array. The heap starts empty; fill it with push or rebuild.
+func (h *fireHeap) init(n int) {
+	b := uint(bits.Len(uint(n)))
+	if b == 0 {
+		b = 1
+	}
+	h.nodeBits = b
+	h.nodeMask = int64(1)<<b - 1
+	if cap(h.a) < n {
+		h.a = make([]int64, 0, n)
+	}
+	h.a = h.a[:0]
+}
+
+// rebuild refills the heap with one entry per node at fire[i], replacing
+// any previous contents. It heapifies in O(n) and allocates nothing.
+func (h *fireHeap) rebuild(fire []int64) {
+	h.a = h.a[:len(fire)]
+	for i, f := range fire {
+		h.a[i] = f<<h.nodeBits | int64(i)
+	}
+	for i := len(h.a)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *fireHeap) len() int { return len(h.a) }
+
+// minSlot returns the slot of the minimum entry (stale or not). The heap
+// must be non-empty.
+func (h *fireHeap) minSlot() int64 { return h.a[0] >> h.nodeBits }
+
+// push files node i at the given slot.
+func (h *fireHeap) push(slot int64, i int) {
+	h.a = append(h.a, slot<<h.nodeBits|int64(i))
+	j := len(h.a) - 1
+	for j > 0 {
+		p := (j - 1) / 2
+		if h.a[p] <= h.a[j] {
+			break
+		}
+		h.a[p], h.a[j] = h.a[j], h.a[p]
+		j = p
+	}
+}
+
+// pop removes and returns the minimum entry. The heap must be non-empty.
+func (h *fireHeap) pop() (slot int64, node int) {
+	k := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return k >> h.nodeBits, int(k & h.nodeMask)
+}
+
+func (h *fireHeap) siftDown(j int) {
+	a := h.a
+	n := len(a)
+	k := a[j]
+	for {
+		c := 2*j + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && a[r] < a[c] {
+			c = r
+		}
+		if k <= a[c] {
+			break
+		}
+		a[j] = a[c]
+		j = c
+	}
+	a[j] = k
+}

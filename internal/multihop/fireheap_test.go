@@ -1,0 +1,224 @@
+package multihop
+
+import (
+	"fmt"
+	"testing"
+
+	"selfishmac/internal/rng"
+)
+
+// TestFireHeapOrdering pins the packed-key ordering: pops come out sorted
+// by slot, ties broken by ascending node id.
+func TestFireHeapOrdering(t *testing.T) {
+	var h fireHeap
+	h.init(8)
+	// Deliberately interleaved pushes with duplicate slots.
+	h.push(5, 3)
+	h.push(2, 7)
+	h.push(5, 1)
+	h.push(2, 0)
+	h.push(9, 4)
+	h.push(2, 2)
+	want := []struct {
+		slot int64
+		node int
+	}{{2, 0}, {2, 2}, {2, 7}, {5, 1}, {5, 3}, {9, 4}}
+	for k, w := range want {
+		s, i := h.pop()
+		if s != w.slot || i != w.node {
+			t.Fatalf("pop %d = (%d, %d), want (%d, %d)", k, s, i, w.slot, w.node)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not empty after draining: len %d", h.len())
+	}
+}
+
+// TestFireHeapLargeSlots checks the packing headroom: slots far beyond any
+// simulated duration survive the shift-and-mask round trip at a large n.
+func TestFireHeapLargeSlots(t *testing.T) {
+	var h fireHeap
+	h.init(10000)
+	h.push(1<<40, 9999)
+	h.push(1<<40-1, 0)
+	if s, i := h.pop(); s != 1<<40-1 || i != 0 {
+		t.Fatalf("pop = (%d, %d), want (%d, 0)", s, i, int64(1<<40-1))
+	}
+	if s, i := h.pop(); s != 1<<40 || i != 9999 {
+		t.Fatalf("pop = (%d, %d), want (%d, 9999)", s, i, int64(1<<40))
+	}
+}
+
+// BenchmarkEventSelection races the two event-selection primitives the
+// engine has had — the lazy-shift calendar (current) and the eager O(n)
+// min-scan over fire[] (what run() did before) — on the same workload:
+// find the minimum fire slot, collect its expired set in ascending node
+// order, re-key the expired, apply a few lazy freeze shifts. Fire slots
+// are drawn from a span proportional to n, matching the engine's regime
+// where each event expires O(1) nodes however large the population gets.
+// The min-scan pays O(n) per event no matter how small the event; the
+// calendar pays O(log n) per touched entry, so its margin grows with n.
+func BenchmarkEventSelection(b *testing.B) {
+	for _, n := range []int{1000, 5000, 10000} {
+		b.Run(fmt.Sprintf("calendar-n%d", n), func(b *testing.B) { benchSelection(b, n, true) })
+		b.Run(fmt.Sprintf("minscan-n%d", n), func(b *testing.B) { benchSelection(b, n, false) })
+	}
+}
+
+func benchSelection(b *testing.B, n int, useHeap bool) {
+	span := 4 * n
+	var src rng.Source
+	src.Reseed(7)
+	fire := make([]int64, n)
+	for i := range fire {
+		fire[i] = int64(src.Intn(span))
+	}
+	var h fireHeap
+	if useHeap {
+		h.init(n)
+		h.rebuild(fire)
+	}
+	expired := make([]int, 0, n)
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		expired = expired[:0]
+		var t int64
+		if useHeap {
+			for {
+				s, i := h.pop()
+				if s != fire[i] {
+					h.push(fire[i], i)
+					continue
+				}
+				t = s
+				expired = append(expired, i)
+				break
+			}
+			for h.len() > 0 && h.minSlot() == t {
+				_, i := h.pop()
+				if fire[i] != t {
+					h.push(fire[i], i)
+					continue
+				}
+				expired = append(expired, i)
+			}
+		} else {
+			t = fire[0]
+			for _, f := range fire[1:] {
+				if f < t {
+					t = f
+				}
+			}
+			for i, f := range fire {
+				if f == t {
+					expired = append(expired, i)
+				}
+			}
+		}
+		for _, i := range expired {
+			fire[i] = t + 1 + int64(src.Intn(span))
+			if useHeap {
+				h.push(fire[i], i)
+			}
+		}
+		// A handful of lazy shifts per event keeps the calendar's stale-
+		// repair cost in the measurement, like carrier sensing does.
+		for j := 0; j < 8; j++ {
+			i := src.Intn(n)
+			if fire[i] > t {
+				fire[i] += int64(src.Intn(64))
+			}
+		}
+	}
+}
+
+// TestFireHeapLazyShiftMatchesEagerScan is the calendar's property test:
+// under random freeze/resume churn — fire slots shifted forward without
+// touching the heap, exactly how the engine applies carrier-sense holds —
+// the lazy-repair pop loop must select the same event slot and the same
+// ascending expired-node set as an eager O(n) min-scan over fire[].
+func TestFireHeapLazyShiftMatchesEagerScan(t *testing.T) {
+	const (
+		n      = 97
+		rounds = 2000
+	)
+	var src rng.Source
+	src.Reseed(42)
+
+	fire := make([]int64, n)
+	var h fireHeap
+	h.init(n)
+	for i := range fire {
+		fire[i] = int64(src.Intn(64))
+	}
+	h.rebuild(fire)
+
+	for r := 0; r < rounds; r++ {
+		// Eager reference: min over fire[], then every node at the min.
+		tRef := fire[0]
+		for _, f := range fire[1:] {
+			if f < tRef {
+				tRef = f
+			}
+		}
+		var wantExpired []int
+		for i, f := range fire {
+			if f == tRef {
+				wantExpired = append(wantExpired, i)
+			}
+		}
+
+		// Lazy heap: pop until current, repairing stale entries, then
+		// collect the rest of the slot.
+		var tGot int64
+		var expired []int
+		for {
+			s, i := h.pop()
+			if s != fire[i] {
+				h.push(fire[i], i)
+				continue
+			}
+			tGot = s
+			expired = append(expired, i)
+			break
+		}
+		for h.len() > 0 && h.minSlot() == tGot {
+			_, i := h.pop()
+			if fire[i] != tGot {
+				h.push(fire[i], i)
+				continue
+			}
+			expired = append(expired, i)
+		}
+
+		if tGot != tRef {
+			t.Fatalf("round %d: heap slot %d, eager scan %d", r, tGot, tRef)
+		}
+		if len(expired) != len(wantExpired) {
+			t.Fatalf("round %d: expired %v, want %v", r, expired, wantExpired)
+		}
+		for k := range expired {
+			if expired[k] != wantExpired[k] {
+				t.Fatalf("round %d: expired %v, want %v (order must be ascending)", r, expired, wantExpired)
+			}
+		}
+		if h.len() != n-len(expired) {
+			t.Fatalf("round %d: heap len %d after popping %d of %d entries", r, h.len(), len(expired), n)
+		}
+
+		// Re-key the expired nodes (resume: strictly future slot, pushed
+		// eagerly, like a transmitter redraw or isolated-node redraw).
+		for _, i := range expired {
+			fire[i] = tGot + 1 + int64(src.Intn(128))
+			h.push(fire[i], i)
+		}
+		// Freeze churn: shift a random subset of the survivors forward
+		// WITHOUT touching the heap — their entries go stale, exactly
+		// like carrier-sense holds in the engine.
+		for i := 0; i < n; i++ {
+			if fire[i] > tGot && src.Intn(4) == 0 {
+				fire[i] += int64(src.Intn(32))
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package multihop
+
+import (
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/core"
+	"selfishmac/internal/phy"
+	"selfishmac/internal/topology"
+)
+
+// hideBound wraps a strategy behind a plain core.Strategy method set, so
+// the engine cannot see its BoundedHistory and must fall back to full
+// retention — the lever the equivalence test below uses to run the same
+// population through both history modes.
+type hideBound struct{ s core.Strategy }
+
+func (h hideBound) Name() string { return h.s.Name() }
+func (h hideBound) ChooseCW(self int, observed [][]int, utilities []float64) int {
+	return h.s.ChooseCW(self, observed, utilities)
+}
+
+// TestEngineWindowedHistoryMatchesFull pins the windowed observation
+// history against full retention: a mixed TFT/GTFT/Constant population
+// must produce an identical trace whether the engine keeps the whole
+// history or only the declared window, including under churn (views
+// change composition) and with GTFT windows mid-phase at early stages.
+func TestEngineWindowedHistoryMatchesFull(t *testing.T) {
+	build := func() []core.Strategy {
+		s := make([]core.Strategy, 0, 12)
+		for i := 0; i < 5; i++ {
+			s = append(s, core.TFT{Initial: 64})
+		}
+		for i := 0; i < 4; i++ {
+			s = append(s, core.GTFT{Initial: 64, R0: 3, Beta: 0.9})
+		}
+		s = append(s, core.Constant{W: 24, Label: "malicious"})
+		s = append(s, core.Constant{W: 64})
+		s = append(s, core.TFT{Initial: 80})
+		return s
+	}
+	for _, withChurn := range []bool{false, true} {
+		name := "static"
+		if withChurn {
+			name = "churn"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(hidden bool) *Trace {
+				nw, err := topology.New(topology.Config{
+					N: 12, Width: 400, Height: 400, Range: 150, Seed: 31,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				strategies := build()
+				if hidden {
+					for i, s := range strategies {
+						strategies[i] = hideBound{s}
+					}
+				}
+				cfg := simCfg(phy.RTSCTS, nil, 2e5, 5)
+				eng, err := NewEngine(nw, strategies, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if withChurn {
+					eng.WithChurn(ChurnConfig{LeaveProb: 0.2, JoinProb: 0.6, Seed: 77})
+				}
+				tr, err := eng.Run(14)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tr
+			}
+			windowed, full := run(false), run(true)
+			if !reflect.DeepEqual(windowed, full) {
+				t.Fatalf("windowed history diverged from full retention:\nwindowed: %+v\nfull:     %+v", windowed, full)
+			}
+		})
+	}
+}
+
+// TestObsHistoryModeSelection pins when the engine may window: any
+// strategy without a BoundedHistory declaration (GrimTrigger scans the
+// whole history, Deviant counts absolute stages) forces full retention.
+func TestObsHistoryModeSelection(t *testing.T) {
+	bounded := []core.Strategy{core.TFT{Initial: 64}, core.GTFT{Initial: 64, R0: 4, Beta: 0.9}, core.Constant{W: 32}}
+	h := newObsHistory(len(bounded), bounded)
+	if h.depth != 4 {
+		t.Fatalf("bounded population: depth %d, want 4 (deepest declared window)", h.depth)
+	}
+	mixed := []core.Strategy{core.TFT{Initial: 64}, core.GrimTrigger{Initial: 64, PunishCW: 2}}
+	if h := newObsHistory(len(mixed), mixed); h.depth != 0 {
+		t.Fatalf("grim-trigger population: depth %d, want 0 (full retention)", h.depth)
+	}
+	deviant := []core.Strategy{core.Deviant{Deviation: 8, Base: 64, Stages: 3}, core.TFT{Initial: 64}}
+	if h := newObsHistory(len(deviant), deviant); h.depth != 0 {
+		t.Fatalf("deviant population: depth %d, want 0 (full retention)", h.depth)
+	}
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"sync"
+
+	"selfishmac/internal/macsim"
+	"selfishmac/internal/multihop"
+	"selfishmac/internal/topology"
+)
+
+// enginepool.go pools reusable simulator engines across daemon jobs.
+// Building a multihop.Simulator costs a topology build plus every engine
+// buffer; a macsim.Engine costs its calendar and per-node state. Jobs of
+// the same *shape* — identical topology configuration and stage duration
+// for multihop, identical node count for macsim — can hand those buffers
+// to each other: the next job just swaps the CW profile (SetCW /
+// Reconfigure, both allocation-free at fixed shape) and Resets per
+// replication, hitting the engines' pinned 0 allocs/op reuse path
+// instead of paying construction per job.
+//
+// Pools are sync.Pool per shape key, so idle engines are dropped under
+// GC pressure rather than pinned forever, and concurrent jobs of the
+// same shape each get their own engine (engines are not goroutine-safe).
+
+// shapedPool is a registry of sync.Pools keyed by a comparable shape.
+type shapedPool[K comparable, E any] struct {
+	mu    sync.Mutex
+	pools map[K]*sync.Pool
+}
+
+func (p *shapedPool[K, E]) pool(key K) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pools == nil {
+		p.pools = make(map[K]*sync.Pool)
+	}
+	sp, ok := p.pools[key]
+	if !ok {
+		sp = &sync.Pool{}
+		p.pools[key] = sp
+	}
+	return sp
+}
+
+// get returns a pooled engine for the shape, or ok=false on a miss (the
+// caller builds fresh and releases it into the pool when done).
+func (p *shapedPool[K, E]) get(key K) (E, bool) {
+	v := p.pool(key).Get()
+	if v == nil {
+		var zero E
+		return zero, false
+	}
+	return v.(E), true
+}
+
+func (p *shapedPool[K, E]) put(key K, e E) { p.pool(key).Put(e) }
+
+// multihopShape identifies interchangeable multihop simulators: same
+// deterministic topology and same per-replication duration. The CW
+// profile is deliberately not part of the shape — SetCW swaps it in
+// place on acquire.
+type multihopShape struct {
+	topo       topology.Config
+	durationUs float64
+}
+
+// macsimShape identifies interchangeable single-hop engines. Only the
+// node count matters: Reconfigure handles any window/timing change at a
+// fixed population without allocating (the compact calendar grows on
+// demand and is retained).
+type macsimShape struct {
+	n int
+}
+
+var (
+	multihopPool shapedPool[multihopShape, *multihop.Simulator]
+	macsimPool   shapedPool[macsimShape, *macsim.Engine]
+)
+
+// acquireMultihop returns a simulator for the shape, pooled when one is
+// available (CW swapped in place) and freshly built otherwise. Release
+// with releaseMultihop when the job is done with it.
+func acquireMultihop(shape multihopShape, cfg multihop.SimConfig) (*multihop.Simulator, error) {
+	if sim, ok := multihopPool.get(shape); ok {
+		if err := sim.SetCW(cfg.CW); err == nil {
+			return sim, nil
+		}
+		// Shape key should make SetCW infallible; fall through to a
+		// fresh build rather than trusting a mismatched engine.
+	}
+	nw, err := topology.New(shape.topo)
+	if err != nil {
+		return nil, err
+	}
+	return multihop.NewSimulator(nw, cfg)
+}
+
+func releaseMultihop(shape multihopShape, sim *multihop.Simulator) {
+	multihopPool.put(shape, sim)
+}
+
+// acquireMacsim returns a single-hop engine running cfg, pooled
+// (reconfigured in place) when one of the right population is available.
+func acquireMacsim(cfg macsim.Config) (*macsim.Engine, error) {
+	shape := macsimShape{n: len(cfg.CW)}
+	if eng, ok := macsimPool.get(shape); ok {
+		if err := eng.Reconfigure(cfg); err == nil {
+			return eng, nil
+		}
+	}
+	return macsim.NewEngine(cfg)
+}
+
+func releaseMacsim(eng *macsim.Engine, n int) {
+	macsimPool.put(macsimShape{n: n}, eng)
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/multihop"
+	"selfishmac/internal/topology"
+)
+
+// TestPooledJobsBitIdentical pins the pooling contract: a job served by a
+// warm pooled engine (SetCW/Reconfigure + Reset) must produce exactly the
+// result a cold fresh-built engine produces, for both simulator kinds.
+func TestPooledJobsBitIdentical(t *testing.T) {
+	discard := func(any) {}
+	run := func(kind string, params string) any {
+		t.Helper()
+		var fn RunnerFunc
+		switch kind {
+		case "replicate":
+			fn = runReplicateJob
+		case "singlehop":
+			fn = runSinglehopJob
+		}
+		out, err := fn(context.Background(), json.RawMessage(params), discard)
+		if err != nil {
+			t.Fatalf("%s job: %v", kind, err)
+		}
+		return out
+	}
+	cases := []struct {
+		kind   string
+		params string
+	}{
+		{"replicate", `{"nodes":30,"duration_us":100000,"max_reps":4,"workers":1}`},
+		{"singlehop", `{"nodes":10,"cw":76,"duration_us":200000,"max_reps":4,"workers":1}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			cold := run(tc.kind, tc.params)
+			// The first run released its engines into the pool; this run
+			// acquires them warm.
+			warm := run(tc.kind, tc.params)
+			if !reflect.DeepEqual(cold, warm) {
+				t.Fatalf("pooled rerun diverged from cold run:\ncold: %+v\nwarm: %+v", cold, warm)
+			}
+		})
+	}
+}
+
+// TestPooledMultihopSteadyStateAllocationFree pins the reason the pool
+// exists: once an engine of the shape is warm, a full job-shaped cycle —
+// acquire, swap the CW profile, replicate, release — runs on the
+// simulator's 0 allocs/op path.
+func TestPooledMultihopSteadyStateAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector; the pin only holds in regular builds")
+	}
+	shape := multihopShape{
+		topo:       topology.Config{N: 25, Width: 800, Height: 800, Range: 200, Seed: 5},
+		durationUs: 5e4,
+	}
+	cfg := multihop.DefaultSimConfig(shape.durationUs, 1)
+	cfg.CW = make([]int, shape.topo.N)
+	for i := range cfg.CW {
+		cfg.CW[i] = 64
+	}
+	warm, err := acquireMultihop(shape, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	releaseMultihop(shape, warm)
+
+	allocs := testing.AllocsPerRun(10, func() {
+		sim, err := acquireMultihop(shape, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Reset(42)
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		releaseMultihop(shape, sim)
+	})
+	// sync.Pool itself may allocate a pool-chain node now and then; the
+	// bound asserts the engine path is allocation-free (an engine rebuild
+	// would cost thousands).
+	if allocs > 1 {
+		t.Fatalf("warm pooled job cycle allocated %.1f objects per run, want <= 1", allocs)
+	}
+}

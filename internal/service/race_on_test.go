@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in. The
+// pool-allocation pin skips under -race: sync.Pool deliberately drops a
+// fraction of Puts in race builds, so pooled acquires miss and rebuild.
+const raceEnabled = true

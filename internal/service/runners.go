@@ -8,7 +8,9 @@ import (
 	"fmt"
 
 	"selfishmac/internal/experiments"
+	"selfishmac/internal/macsim"
 	"selfishmac/internal/multihop"
+	"selfishmac/internal/phy"
 	"selfishmac/internal/replicate"
 	"selfishmac/internal/rng"
 	"selfishmac/internal/topology"
@@ -17,6 +19,7 @@ import (
 // registerBuiltins wires the production job kinds.
 func registerBuiltins(s *Server) {
 	s.RegisterRunner("replicate", runReplicateJob)
+	s.RegisterRunner("singlehop", runSinglehopJob)
 	s.RegisterRunner("experiment", runExperimentJob)
 }
 
@@ -142,11 +145,9 @@ func runReplicateJob(ctx context.Context, raw json.RawMessage, progress func(v a
 	}
 	p.applyDefaults()
 
-	nw, err := topology.New(topology.Config{
-		N: p.Nodes, Width: p.Width, Height: p.Height, Range: p.Range, Seed: p.TopoSeed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("service: replicate topology: %w", err)
+	shape := multihopShape{
+		topo:       topology.Config{N: p.Nodes, Width: p.Width, Height: p.Height, Range: p.Range, Seed: p.TopoSeed},
+		durationUs: p.DurationUs,
 	}
 	cfg := multihop.DefaultSimConfig(p.DurationUs, rng.DeriveSeed(p.BaseSeed, "service.replicate.sim", 0))
 	cw := make([]int, p.Nodes)
@@ -176,11 +177,22 @@ func runReplicateJob(ctx context.Context, raw json.RawMessage, progress func(v a
 			progress(pr)
 		},
 	}
+	// Workers draw simulators from the shape pool — steady-state daemon
+	// traffic at a repeated shape pays SetCW+Reset, not topology and
+	// engine construction — and return them when the job finishes.
+	// RunContext calls the factory serially, so plain append is safe.
+	var acquired []*multihop.Simulator
+	defer func() {
+		for _, sim := range acquired {
+			releaseMultihop(shape, sim)
+		}
+	}()
 	res, err := replicate.RunContext(ctx, plan, func() (replicate.Replicator, error) {
-		sim, err := multihop.NewSimulator(nw, cfg)
+		sim, err := acquireMultihop(shape, cfg)
 		if err != nil {
 			return nil, err
 		}
+		acquired = append(acquired, sim)
 		return svcReplicator{sim}, nil
 	})
 	if res == nil {
@@ -199,6 +211,165 @@ func runReplicateJob(ctx context.Context, raw json.RawMessage, progress func(v a
 	}
 	// On cancellation both the prefix result and ctx's error propagate:
 	// the worker stores the partial view and marks the job Cancelled.
+	return view, err
+}
+
+// SinglehopParams parameterizes a "singlehop" job: an adaptively
+// replicated single-collision-domain simulation (macsim) at one uniform
+// CW. Zero fields take the documented defaults.
+type SinglehopParams struct {
+	// Nodes is the population (default 20).
+	Nodes int `json:"nodes,omitempty"`
+	// CW is the uniform contention window (default 336, the 20-node
+	// efficient-NE window).
+	CW int `json:"cw,omitempty"`
+	// Mode is "basic" (default) or "rtscts".
+	Mode string `json:"mode,omitempty"`
+	// DurationUs is the simulated time per replication in microseconds
+	// (default 1e6).
+	DurationUs float64 `json:"duration_us,omitempty"`
+	// BaseSeed scopes the replication seed streams (default 1).
+	BaseSeed uint64 `json:"base_seed,omitempty"`
+	// MinReps/MaxReps/BatchSize/RelCI drive the adaptive schedule
+	// (defaults 3/24/3/0.05). RelCI <= 0 disables adaptive stopping.
+	MinReps   int     `json:"min_reps,omitempty"`
+	MaxReps   int     `json:"max_reps,omitempty"`
+	BatchSize int     `json:"batch_size,omitempty"`
+	RelCI     float64 `json:"rel_ci,omitempty"`
+	// MaxErrRetries is the per-replication deterministic retry budget.
+	MaxErrRetries int `json:"max_err_retries,omitempty"`
+	// Workers bounds the replication pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+func (p *SinglehopParams) applyDefaults() {
+	if p.Nodes <= 0 {
+		p.Nodes = 20
+	}
+	if p.CW <= 0 {
+		p.CW = 336
+	}
+	if p.Mode == "" {
+		p.Mode = "basic"
+	}
+	if p.DurationUs <= 0 {
+		p.DurationUs = 1e6
+	}
+	if p.BaseSeed == 0 {
+		p.BaseSeed = 1
+	}
+	if p.MinReps <= 0 {
+		p.MinReps = 3
+	}
+	if p.MaxReps <= 0 {
+		p.MaxReps = 24
+	}
+	if p.BatchSize <= 0 {
+		p.BatchSize = 3
+	}
+	if p.RelCI == 0 {
+		p.RelCI = 0.05
+	}
+}
+
+// singlehopMetricNames matches macsimReplicator's metric layout.
+var singlehopMetricNames = []string{"global_payoff_rate", "throughput"}
+
+// macsimReplicator adapts a pooled macsim Engine to the replication
+// layer: metric 0 is the global payoff rate (the adaptive target),
+// metric 1 the global payload-airtime throughput.
+type macsimReplicator struct{ eng *macsim.Engine }
+
+func (r macsimReplicator) Replicate(seed uint64, out []float64) error {
+	r.eng.Reset(seed)
+	res := r.eng.Run()
+	out[0] = res.GlobalPayoffRate()
+	out[1] = res.Throughput
+	return nil
+}
+
+func runSinglehopJob(ctx context.Context, raw json.RawMessage, progress func(v any)) (any, error) {
+	var p SinglehopParams
+	if err := decodeParams(raw, &p); err != nil {
+		return nil, fmt.Errorf("service: bad singlehop params: %w", err)
+	}
+	p.applyDefaults()
+	var mode phy.AccessMode
+	switch p.Mode {
+	case "basic":
+		mode = phy.Basic
+	case "rtscts":
+		mode = phy.RTSCTS
+	default:
+		return nil, fmt.Errorf("service: unknown mode %q (want basic or rtscts)", p.Mode)
+	}
+	timing, err := phy.Default().Timing(mode)
+	if err != nil {
+		return nil, fmt.Errorf("service: singlehop timing: %w", err)
+	}
+	cw := make([]int, p.Nodes)
+	for i := range cw {
+		cw[i] = p.CW
+	}
+	cfg := macsim.Config{
+		Timing:   timing,
+		MaxStage: phy.Default().MaxBackoffStage,
+		CW:       cw,
+		Duration: p.DurationUs,
+		Seed:     rng.DeriveSeed(p.BaseSeed, "service.singlehop.sim", 0),
+		Gain:     1,
+		Cost:     0.01,
+	}
+
+	plan := replicate.Plan{
+		BaseSeed:      p.BaseSeed,
+		Stream:        "service.singlehop",
+		Metrics:       len(singlehopMetricNames),
+		Target:        0,
+		RelTolerance:  max(p.RelCI, 0),
+		MinReps:       p.MinReps,
+		MaxReps:       p.MaxReps,
+		BatchSize:     p.BatchSize,
+		Workers:       p.Workers,
+		MaxErrRetries: p.MaxErrRetries,
+		OnRound: func(st replicate.RoundStatus) {
+			pr := ReplicateProgress{Round: st.Round, Reps: st.Reps}
+			for m, sum := range st.Summaries {
+				pr.Metrics = append(pr.Metrics, MetricView{
+					Name: singlehopMetricNames[m], Mean: sum.Mean, CI95: sum.CI95, N: sum.N,
+				})
+			}
+			progress(pr)
+		},
+	}
+	var acquired []*macsim.Engine
+	defer func() {
+		for _, eng := range acquired {
+			releaseMacsim(eng, p.Nodes)
+		}
+	}()
+	res, err := replicate.RunContext(ctx, plan, func() (replicate.Replicator, error) {
+		eng, err := acquireMacsim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		acquired = append(acquired, eng)
+		return macsimReplicator{eng}, nil
+	})
+	if res == nil {
+		return nil, err
+	}
+	view := &ReplicateResult{
+		Reps:      res.Reps,
+		Rounds:    res.Rounds,
+		Converged: res.Converged,
+		Cancelled: res.Cancelled,
+		Retried:   res.Retried,
+	}
+	for m, name := range singlehopMetricNames {
+		sum := res.Summary(m)
+		view.Metrics = append(view.Metrics, MetricView{Name: name, Mean: sum.Mean, CI95: sum.CI95, N: sum.N})
+	}
 	return view, err
 }
 

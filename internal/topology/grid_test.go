@@ -91,6 +91,49 @@ func TestDifferentialGridMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestDifferentialGridPopulationScale checks the grid at the bench's
+// n=10000 configuration — the regime the fire-slot calendar unlocked for
+// the simulator, where the adjacency build itself must stay O(n·deg).
+// The full brute-force cross-check is O(n²) (~10⁸ IsLink calls), so the
+// static snapshot is verified wholesale once and a mobility step is
+// verified on a sampled node subset.
+func TestDifferentialGridPopulationScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=10000 brute-force cross-check is slow")
+	}
+	cfg := Config{N: 10000, Width: 10000, Height: 10000, Range: 250, MinSpeed: 0, MaxSpeed: 5, Seed: 29}
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := nw.AdjacencyInto(nil)
+	brute := nw.BruteForceAdjacencyLists()
+	for i := range adj {
+		if !reflect.DeepEqual(adj[i], brute[i]) {
+			t.Fatalf("node %d: grid %v, brute force %v", i, adj[i], brute[i])
+		}
+	}
+	if err := nw.Step(37); err != nil {
+		t.Fatal(err)
+	}
+	adj = nw.AdjacencyInto(adj)
+	for i := 0; i < cfg.N; i += 97 { // ~100 sampled nodes post-step
+		var want []int
+		for j := 0; j < cfg.N; j++ {
+			if j != i && nw.IsLink(i, j) {
+				want = append(want, j)
+			}
+		}
+		got := adj[i]
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d after step: grid %v, sampled scan %v", i, got, want)
+		}
+	}
+}
+
 // TestDifferentialGridCellBoundaries places nodes exactly on cell
 // boundaries — multiples of the cell extent, the area edges, and the far
 // corner (X == Width, which must clamp into the last column).
