@@ -37,6 +37,7 @@ test-fuzz:
 	go test -run='^$$' -fuzz='^FuzzGeomSeriesSum$$' -fuzztime=$(FUZZTIME) ./internal/num
 	go test -run='^$$' -fuzz='^FuzzBisect$$' -fuzztime=$(FUZZTIME) ./internal/num
 	go test -run='^$$' -fuzz='^FuzzEstimateCWRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/detect
+	go test -run='^$$' -fuzz='^FuzzMonitor$$' -fuzztime=$(FUZZTIME) ./internal/stream
 	go test -run='^$$' -fuzz='^FuzzRunTerminates$$' -fuzztime=$(FUZZTIME) ./internal/search
 	go test -run='^$$' -fuzz='^FuzzResilientRunTerminates$$' -fuzztime=$(FUZZTIME) ./internal/search
 
@@ -48,9 +49,10 @@ test-race:
 # End-to-end daemon smoke under the race detector: boots selfishmacd
 # in-process on an ephemeral port, runs a tiny replicate job to Done,
 # overflows the queue to 429, cancels a running job, and drains on
-# SIGTERM — plus the service package's own race-sensitive suite.
+# SIGTERM; a second boot streams a detect job's flag events over HTTP —
+# plus the service package's own race-sensitive suite.
 smoke-daemon:
-	go test -race -run '^TestDaemonSmoke$$' -v ./cmd/selfishmacd
+	go test -race -run '^TestDaemon' -v ./cmd/selfishmacd
 	go test -race ./internal/service
 
 cover:

@@ -173,6 +173,13 @@ func BenchmarkGTFTTradeoff(b *testing.B) {
 		"r01_beta0.8_lag", "r08_beta0.8_lag", "r08_beta0.8_gain")
 }
 
+// BenchmarkStreamingDetection regenerates D4: online detection latency
+// and TP/FP rates over heterogeneous population mixes and Beta settings.
+func BenchmarkStreamingDetection(b *testing.B) {
+	runExperiment(b, experiments.StreamingDetection,
+		"malicious_b50_latency_slots", "malicious_b50_tpr", "honest_b50_fpr")
+}
+
 // BenchmarkDelayAnalysis regenerates the Section VIII delay study.
 func BenchmarkDelayAnalysis(b *testing.B) {
 	runExperiment(b, experiments.DelayAnalysis,

@@ -40,8 +40,14 @@ import (
 	"selfishmac/internal/macsim"
 	"selfishmac/internal/multihop"
 	"selfishmac/internal/phy"
+	"selfishmac/internal/stats"
+	"selfishmac/internal/stream"
 	"selfishmac/internal/topology"
 )
+
+// detectionName is the streaming-detection scenario; run() keys the
+// flag-latency distribution in File.Detection off it.
+const detectionName = "macsim/detection-n10-w166"
 
 func main() {
 	ctx, cancel := context.WithCancel(context.Background())
@@ -84,16 +90,38 @@ type File struct {
 	Note       string             `json:"note"`
 	Benchmarks []EngineResult     `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups"` // scenario -> reference/fast ns ratio
+	// Detection carries the streaming-detection scenario's flag-latency
+	// distribution (absent when -only filters the scenario out).
+	Detection *DetectionStats `json:"detection,omitempty"`
+}
+
+// DetectionStats summarizes the detection scenario's flag latencies over
+// independent seeds: how many virtual slots pass before the cheater's
+// first flag, as a distribution, plus the per-run flag volume.
+type DetectionStats struct {
+	Scenario         string  `json:"scenario"`
+	Runs             int     `json:"runs"`
+	Flagged          int     `json:"flagged"` // runs whose cheater was flagged
+	WindowSlots      int64   `json:"window_slots"`
+	LatencyMeanSlots float64 `json:"latency_mean_slots"`
+	LatencyP50Slots  float64 `json:"latency_p50_slots"`
+	LatencyP90Slots  float64 `json:"latency_p90_slots"`
+	LatencyP99Slots  float64 `json:"latency_p99_slots"`
+	FlagsPerRun      float64 `json:"flags_per_run"`
 }
 
 // scenario is one workload measured under both engines. runFast and
 // runRef must simulate the identical trajectory; events is the per-run
-// event count used for the events/sec rate.
+// event count used for the events/sec rate. The labels default to
+// "fast"/"reference"; the detection scenario relabels them
+// "observed"/"plain" (same engine, observer hook on vs off).
 type scenario struct {
-	name    string
-	events  int64
-	runFast func() error
-	runRef  func() error
+	name      string
+	events    int64
+	fastLabel string
+	refLabel  string
+	runFast   func() error
+	runRef    func() error
 }
 
 func uniformCW(w, n int) []int {
@@ -173,6 +201,103 @@ func multihopScenario(name string, topoCfg topology.Config, cfg multihop.SimConf
 	}, nil
 }
 
+// detectionScenario measures the streaming-detection observer's cost on
+// the single-hop hot loop: the same reusable engine (10 nodes at the
+// efficient-NE window, one Wc*/8 cheater) is timed with a stream.Monitor
+// on the observer hook ("observed") and without one ("plain") — the
+// trajectories are bit-identical, so events/sec is directly comparable
+// and the ratio is the observer's overhead. The returned closure
+// computes the flag-latency distribution over independent seeds; run()
+// calls it only when the scenario passes the -only filter.
+func detectionScenario(name string, quick bool) (scenario, func() (*DetectionStats, error), error) {
+	const n, expected, cheatCW = 10, 166, 20
+	const windowSlots = 1500
+	dur, distRuns := 30e6, 32
+	if quick {
+		dur, distRuns = 3e6, 8
+	}
+	cw := uniformCW(expected, n)
+	cw[0] = cheatCW
+	base := macsim.Config{
+		Timing:   phy.Default().MustTiming(phy.Basic),
+		MaxStage: phy.Default().MaxBackoffStage,
+		CW:       cw,
+		Duration: dur,
+		Seed:     1,
+		Gain:     1,
+		Cost:     0.01,
+	}
+	plainEng, err := macsim.NewEngine(base)
+	if err != nil {
+		return scenario{}, nil, err
+	}
+	mon, err := stream.NewMonitor(stream.Config{
+		Nodes: n, WindowSlots: windowSlots, Keep: 4,
+		MaxStage: base.MaxStage, ExpectedCW: expected, Beta: 0.6,
+	})
+	if err != nil {
+		return scenario{}, nil, err
+	}
+	observed := base
+	observed.Observer = mon
+	obsEng, err := macsim.NewEngine(observed)
+	if err != nil {
+		return scenario{}, nil, err
+	}
+	obsEng.Reset(base.Seed)
+	probe := obsEng.Run()
+	mon.Finish(probe.Slots)
+	events := probe.SuccessEvents + probe.CollisionEvents
+
+	sc := scenario{
+		name:      name,
+		events:    events,
+		fastLabel: "observed",
+		refLabel:  "plain",
+		runFast: func() error {
+			mon.Reset()
+			obsEng.Reset(base.Seed)
+			res := obsEng.Run()
+			mon.Finish(res.Slots)
+			return nil
+		},
+		runRef: func() error {
+			plainEng.Reset(base.Seed)
+			plainEng.Run()
+			return nil
+		},
+	}
+	dist := func() (*DetectionStats, error) {
+		st := &DetectionStats{Scenario: name, Runs: distRuns, WindowSlots: windowSlots}
+		var latencies []float64
+		var flags int64
+		for r := 0; r < distRuns; r++ {
+			mon.Reset()
+			obsEng.Reset(uint64(1000 + r))
+			res := obsEng.Run()
+			mon.Finish(res.Slots)
+			flags += mon.Flags()
+			if s := mon.FirstFlagSlot(0); s >= 0 {
+				st.Flagged++
+				latencies = append(latencies, float64(s))
+			}
+		}
+		st.FlagsPerRun = float64(flags) / float64(distRuns)
+		if len(latencies) > 0 {
+			var sum float64
+			for _, l := range latencies {
+				sum += l
+			}
+			st.LatencyMeanSlots = sum / float64(len(latencies))
+			st.LatencyP50Slots = stats.Quantile(latencies, 0.5)
+			st.LatencyP90Slots = stats.Quantile(latencies, 0.9)
+			st.LatencyP99Slots = stats.Quantile(latencies, 0.99)
+		}
+		return st, nil
+	}
+	return sc, dist, nil
+}
+
 // adjacencyScenario measures the topology-layer neighbor build alone:
 // the cell-grid refill into reused buffers (fast) vs the pinned O(n²)
 // linear scan (reference). Queries are read-only, so one network serves
@@ -205,7 +330,7 @@ func adjacencyScenario(name string, topoCfg topology.Config) (scenario, error) {
 // default profile is paper-faithful (1000 s single-hop runs in the NE
 // tables use the same engine; here 20 s keeps a full bench under a few
 // minutes while still dominated by the hot loop).
-func scenarios(quick bool) ([]scenario, error) {
+func scenarios(quick bool) ([]scenario, func() (*DetectionStats, error), error) {
 	shDur, mhDur := 20e6, 60e6 // microseconds of simulated time per op
 	if quick {
 		shDur, mhDur = 1e6, 1e6
@@ -214,12 +339,19 @@ func scenarios(quick bool) ([]scenario, error) {
 
 	s, err := macsimScenario("macsim/basic-n20-w336", 336, 20, shDur)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
 	s, err = macsimScenario("macsim/basic-n50-w879", 879, 50, shDur)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	out = append(out, s)
+
+	// The streaming-detection observer on the same hot loop.
+	s, detDist, err := detectionScenario(detectionName, quick)
+	if err != nil {
+		return nil, nil, err
 	}
 	out = append(out, s)
 
@@ -229,7 +361,7 @@ func scenarios(quick bool) ([]scenario, error) {
 	simCfg.CW = uniformCW(116, 50)
 	s, err = multihopScenario("multihop/sparse-n50-w116", sparse, simCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
 
@@ -240,7 +372,7 @@ func scenarios(quick bool) ([]scenario, error) {
 	mob.MobilityEvery = 1e6
 	s, err = multihopScenario("multihop/mobile-n100-w26", paper, mob)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
 
@@ -259,7 +391,7 @@ func scenarios(quick bool) ([]scenario, error) {
 	cfg500.MobilityEvery = 1e6
 	s, err = multihopScenario("multihop/mobile-n500-w26", big, cfg500)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
 	huge := topology.Config{N: 1000, Width: 3162, Height: 3162, Range: 250, MaxSpeed: 5, Seed: 19}
@@ -268,7 +400,7 @@ func scenarios(quick bool) ([]scenario, error) {
 	cfg1000.MobilityEvery = 5e5
 	s, err = multihopScenario("multihop/mobile-n1000-w26", huge, cfg1000)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
 
@@ -287,7 +419,7 @@ func scenarios(quick bool) ([]scenario, error) {
 	cfg5000.MobilityEvery = 5e5
 	s, err = multihopScenario("multihop/mobile-n5000-w26", giant, cfg5000)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
 	colossal := topology.Config{N: 10000, Width: 10000, Height: 10000, Range: 250, MaxSpeed: 5, Seed: 29}
@@ -296,7 +428,7 @@ func scenarios(quick bool) ([]scenario, error) {
 	cfg10000.MobilityEvery = 2.5e5
 	s, err = multihopScenario("multihop/mobile-n10000-w26", colossal, cfg10000)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
 
@@ -304,20 +436,20 @@ func scenarios(quick bool) ([]scenario, error) {
 	// actually removes at these populations.
 	s, err = adjacencyScenario("topology/adjacency-n500", big)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
 	s, err = adjacencyScenario("topology/adjacency-n1000", huge)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
 	s, err = adjacencyScenario("topology/adjacency-n10000", colossal)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out = append(out, s)
-	return out, nil
+	return out, detDist, nil
 }
 
 // measure runs fn under testing.Benchmark and folds in the scenario's
@@ -401,7 +533,7 @@ func run(ctx context.Context, args []string) error {
 		return runReplicate(ctx, target, *quick)
 	}
 
-	suite, err := scenarios(*quick)
+	suite, detDist, err := scenarios(*quick)
 	if err != nil {
 		return err
 	}
@@ -430,11 +562,18 @@ func run(ctx context.Context, args []string) error {
 			interrupted = true
 			break
 		}
-		fast, err := measure(sc.name, "fast", sc.events, sc.runFast)
+		fastLabel, refLabel := sc.fastLabel, sc.refLabel
+		if fastLabel == "" {
+			fastLabel = "fast"
+		}
+		if refLabel == "" {
+			refLabel = "reference"
+		}
+		fast, err := measure(sc.name, fastLabel, sc.events, sc.runFast)
 		if err != nil {
 			return err
 		}
-		ref, err := measure(sc.name, "reference", sc.events, sc.runRef)
+		ref, err := measure(sc.name, refLabel, sc.events, sc.runRef)
 		if err != nil {
 			return err
 		}
@@ -442,8 +581,17 @@ func run(ctx context.Context, args []string) error {
 		if fast.NsPerOp > 0 {
 			file.Speedups[sc.name] = ref.NsPerOp / fast.NsPerOp
 		}
-		fmt.Printf("%-30s fast %12.0f ns/op %6d allocs/op %10d B/op %12.0f events/s | ref %12.0f ns/op | speedup %.2fx\n",
-			sc.name, fast.NsPerOp, fast.AllocsPerOp, fast.BytesPerOp, fast.EventsPerSec, ref.NsPerOp, file.Speedups[sc.name])
+		fmt.Printf("%-30s %s %12.0f ns/op %6d allocs/op %10d B/op %12.0f events/s | %s %12.0f ns/op | speedup %.2fx\n",
+			sc.name, fastLabel, fast.NsPerOp, fast.AllocsPerOp, fast.BytesPerOp, fast.EventsPerSec, refLabel, ref.NsPerOp, file.Speedups[sc.name])
+		if sc.name == detectionName && detDist != nil {
+			st, err := detDist()
+			if err != nil {
+				return err
+			}
+			file.Detection = st
+			fmt.Printf("%-30s latency over %d runs: flagged %d, mean %.0f slots, p50 %.0f, p90 %.0f, p99 %.0f, %.1f flags/run\n",
+				sc.name, st.Runs, st.Flagged, st.LatencyMeanSlots, st.LatencyP50Slots, st.LatencyP90Slots, st.LatencyP99Slots, st.FlagsPerRun)
+		}
 	}
 	if len(file.Benchmarks) == 0 {
 		if interrupted {

@@ -30,6 +30,7 @@ func TestBenchWritesJSON(t *testing.T) {
 	wantScenarios := []string{
 		"macsim/basic-n20-w336",
 		"macsim/basic-n50-w879",
+		detectionName,
 		"multihop/sparse-n50-w116",
 		"multihop/mobile-n100-w26",
 		"multihop/mobile-n500-w26",
@@ -54,8 +55,14 @@ func TestBenchWritesJSON(t *testing.T) {
 		}
 	}
 	for _, s := range wantScenarios {
-		fast, okF := byName[s+"/fast"]
-		ref, okR := byName[s+"/reference"]
+		// The detection scenario relabels its engines: same engine with
+		// the observer on vs off, not fast vs reference.
+		fastLabel, refLabel := "fast", "reference"
+		if s == detectionName {
+			fastLabel, refLabel = "observed", "plain"
+		}
+		fast, okF := byName[s+"/"+fastLabel]
+		ref, okR := byName[s+"/"+refLabel]
 		if !okF || !okR {
 			t.Fatalf("scenario %s missing an engine entry", s)
 		}
@@ -66,6 +73,15 @@ func TestBenchWritesJSON(t *testing.T) {
 		if _, ok := f.Speedups[s]; !ok {
 			t.Errorf("scenario %s missing a speedup entry", s)
 		}
+	}
+	if f.Detection == nil {
+		t.Fatal("File.Detection missing: detection scenario ran but no latency distribution")
+	}
+	if f.Detection.Scenario != detectionName || f.Detection.Runs <= 0 {
+		t.Fatalf("detection stats incomplete: %+v", f.Detection)
+	}
+	if f.Detection.Flagged <= 0 || f.Detection.LatencyMeanSlots <= 0 {
+		t.Errorf("Wc*/8 cheater never flagged in %d runs: %+v", f.Detection.Runs, f.Detection)
 	}
 }
 

@@ -172,6 +172,130 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 }
 
+// TestDaemonDetectSmoke boots the daemon and drives a "detect" job over
+// HTTP: submit a 10-node population with one blatant cheater, wait for
+// Done, and require at least one streamed event:"flag" JSON progress
+// line plus a summary result naming the cheater.
+func TestDaemonDetectSmoke(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(
+			[]string{"-addr", "127.0.0.1:0", "-workers", "1", "-queue-cap", "4", "-drain-timeout", "10s"},
+			sigs, io.Discard, io.Discard,
+			func(addr string) { ready <- addr },
+		)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	defer func() {
+		sigs <- syscall.SIGTERM
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Error("daemon did not drain after SIGTERM")
+		}
+	}()
+
+	body := `{"kind":"detect","params":{"nodes":10,"expected_cw":166,"cheaters":1,` +
+		`"cheater_cw":20,"beta":0.6,"window_slots":1500,"duration_us":10000000,"seed":7}}`
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	sub, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", resp.StatusCode, sub)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(sub, &v); err != nil || v.ID == "" {
+		t.Fatalf("no job id in %s", sub)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, body := get("/api/v1/jobs/" + v.ID)
+		var st struct {
+			State string `json:"state"`
+		}
+		_ = json.Unmarshal([]byte(body), &st)
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" || time.Now().After(deadline) {
+			t.Fatalf("detect job state %q (%s)", st.State, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The progress stream holds newline-delimited JSON events; at least
+	// one must be a flag event for the cheater node.
+	code, prog := get("/api/v1/jobs/" + v.ID + "/progress")
+	if code != http.StatusOK {
+		t.Fatalf("progress = %d %s", code, prog)
+	}
+	var flagged bool
+	for _, line := range strings.Split(strings.TrimSpace(prog), "\n") {
+		var fl struct {
+			Event string  `json:"event"`
+			Node  int     `json:"node"`
+			EstCW float64 `json:"est_cw"`
+		}
+		if err := json.Unmarshal([]byte(line), &fl); err != nil {
+			continue
+		}
+		if fl.Event == "flag" {
+			flagged = true
+			if fl.Node != 0 {
+				t.Errorf("flag line names node %d, want the cheater 0: %s", fl.Node, line)
+			}
+			if !(fl.EstCW > 0 && fl.EstCW < 0.6*166) {
+				t.Errorf("flag est_cw %g not under the beta threshold: %s", fl.EstCW, line)
+			}
+		}
+	}
+	if !flagged {
+		t.Fatalf("no event:\"flag\" line in progress stream:\n%s", prog)
+	}
+	code, body = get("/api/v1/jobs/" + v.ID + "/result")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d %s", code, body)
+	}
+	var res struct {
+		Result struct {
+			TruePositives int   `json:"true_positives"`
+			LatencySlots  int64 `json:"latency_slots"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("result body %s: %v", body, err)
+	}
+	if res.Result.TruePositives != 1 || res.Result.LatencySlots < 0 {
+		t.Fatalf("result summary = %+v, want the cheater detected with a latency", res.Result)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	sigs := make(chan os.Signal)
 	if err := run([]string{"-queue-cap", "abc"}, sigs, io.Discard, io.Discard, nil); err == nil {

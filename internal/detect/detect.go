@@ -27,6 +27,23 @@ import (
 	"selfishmac/internal/num"
 )
 
+// Sentinel errors for degenerate observations. Both the batch estimator
+// here and the streaming estimator in internal/stream return these
+// (wrapped with context), so callers can classify failures with
+// errors.Is instead of string matching.
+var (
+	// ErrNoSlots marks an observation window covering zero virtual
+	// slots — there is nothing to estimate from.
+	ErrNoSlots = errors.New("detect: observation covers no slots")
+	// ErrAttemptsExceedSlots marks an impossible count: more attempts
+	// than observed virtual slots (or a negative attempt count).
+	ErrAttemptsExceedSlots = errors.New("detect: attempts outside [0, slots]")
+	// ErrDegenerateTau marks an observed or supplied tau outside (0, 1):
+	// a peer that never transmitted — or transmitted in every single
+	// slot — pins eq. (2) at a boundary where the inversion is undefined.
+	ErrDegenerateTau = errors.New("detect: tau outside (0, 1)")
+)
+
 // Observation is what a promiscuous observer counts for one peer over a
 // measurement window.
 type Observation struct {
@@ -38,13 +55,14 @@ type Observation struct {
 	Slots int64
 }
 
-// Tau returns the observed per-slot transmission probability.
+// Tau returns the observed per-slot transmission probability. It wraps
+// ErrNoSlots / ErrAttemptsExceedSlots for degenerate windows.
 func (o Observation) Tau() (float64, error) {
 	if o.Slots <= 0 {
-		return 0, errors.New("detect: observation covers no slots")
+		return 0, fmt.Errorf("%w (got %d)", ErrNoSlots, o.Slots)
 	}
 	if o.Attempts < 0 || o.Attempts > o.Slots {
-		return 0, fmt.Errorf("detect: %d attempts in %d slots", o.Attempts, o.Slots)
+		return 0, fmt.Errorf("%w: %d attempts in %d slots", ErrAttemptsExceedSlots, o.Attempts, o.Slots)
 	}
 	return float64(o.Attempts) / float64(o.Slots), nil
 }
@@ -55,7 +73,7 @@ func (o Observation) Tau() (float64, error) {
 // observations (tau outside (0, 1)).
 func EstimateCW(tau, p float64, maxStage int) (float64, error) {
 	if tau <= 0 || tau >= 1 {
-		return 0, fmt.Errorf("detect: observed tau %g outside (0, 1)", tau)
+		return 0, fmt.Errorf("%w: observed tau %g", ErrDegenerateTau, tau)
 	}
 	if p < 0 || p > 1 {
 		return 0, fmt.Errorf("detect: collision probability %g outside [0, 1]", p)
@@ -83,6 +101,22 @@ type Estimate struct {
 	CW float64
 }
 
+// CollisionProb computes eq. (3) — the collision probability node i
+// faces, 1 − Π_{j≠i}(1 − τ_j) — from a full tau vector. It is the single
+// implementation shared by the batch estimator below and the streaming
+// estimator in internal/stream: both multiply the (1 − τ_j) factors in
+// ascending j order, so the two paths produce bit-identical floats on
+// identical inputs.
+func CollisionProb(taus []float64, i int) float64 {
+	p := 1.0
+	for j, tj := range taus {
+		if j != i {
+			p *= 1 - tj
+		}
+	}
+	return 1 - p
+}
+
 // EstimateAll recovers every peer's CW from a full observation vector
 // (one Observation per node, all over the same window). The collision
 // probability each node faces is computed from the *other* nodes'
@@ -102,15 +136,9 @@ func EstimateAll(obs []Observation, maxStage int) ([]Estimate, error) {
 	}
 	out := make([]Estimate, n)
 	for i := range obs {
-		p := 1.0
-		for j, tj := range taus {
-			if j != i {
-				p *= 1 - tj
-			}
-		}
-		p = 1 - p
+		p := CollisionProb(taus, i)
 		if taus[i] <= 0 || taus[i] >= 1 {
-			return nil, fmt.Errorf("detect: node %d has degenerate tau %g", i, taus[i])
+			return nil, fmt.Errorf("detect: node %d: %w (%g)", i, ErrDegenerateTau, taus[i])
 		}
 		w, err := EstimateCW(taus[i], p, maxStage)
 		if err != nil {
@@ -122,7 +150,11 @@ func EstimateAll(obs []Observation, maxStage int) ([]Estimate, error) {
 }
 
 // FromSimResult converts a simulator run into the observation vector a
-// promiscuous node would have collected.
+// promiscuous node would have collected. It is the batch equivalent of
+// folding the per-slot observation stream: a stream.Monitor fed every
+// (slot, transmitters) event of the same run accumulates identical
+// cumulative counts, pinned bit-identical by the differential tests in
+// internal/stream.
 func FromSimResult(res *macsim.Result) []Observation {
 	out := make([]Observation, len(res.Nodes))
 	for i, nd := range res.Nodes {

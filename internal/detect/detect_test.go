@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -251,5 +252,58 @@ func TestRequiredSlotsCalibration(t *testing.T) {
 	// 95% confidence per node: allow 2 of 20 outside.
 	if bad > 2 {
 		t.Errorf("%d/20 estimates outside the promised 10%% at the recommended window", bad)
+	}
+}
+
+// The degenerate-observation errors must be classifiable with errors.Is
+// through every public entry point that wraps them.
+func TestSentinelErrorsAreIsable(t *testing.T) {
+	if _, err := (Observation{Attempts: 0, Slots: 0}).Tau(); !errors.Is(err, ErrNoSlots) {
+		t.Errorf("zero-slot Tau error %v is not ErrNoSlots", err)
+	}
+	if _, err := (Observation{Attempts: 5, Slots: 3}).Tau(); !errors.Is(err, ErrAttemptsExceedSlots) {
+		t.Errorf("attempts>slots Tau error %v is not ErrAttemptsExceedSlots", err)
+	}
+	if _, err := (Observation{Attempts: -1, Slots: 3}).Tau(); !errors.Is(err, ErrAttemptsExceedSlots) {
+		t.Errorf("negative-attempts Tau error %v is not ErrAttemptsExceedSlots", err)
+	}
+	if _, err := EstimateCW(0, 0.1, 5); !errors.Is(err, ErrDegenerateTau) {
+		t.Errorf("tau=0 EstimateCW error %v is not ErrDegenerateTau", err)
+	}
+	if _, err := EstimateCW(1, 0.1, 5); !errors.Is(err, ErrDegenerateTau) {
+		t.Errorf("tau=1 EstimateCW error %v is not ErrDegenerateTau", err)
+	}
+	// The wrapped node context must preserve Is-ability through EstimateAll.
+	obs := []Observation{{Attempts: 10, Slots: 100}, {Attempts: 0, Slots: 0}}
+	if _, err := EstimateAll(obs, 5); !errors.Is(err, ErrNoSlots) {
+		t.Errorf("EstimateAll zero-slot error %v is not ErrNoSlots", err)
+	}
+	obs = []Observation{{Attempts: 10, Slots: 100}, {Attempts: 0, Slots: 100}}
+	if _, err := EstimateAll(obs, 5); !errors.Is(err, ErrDegenerateTau) {
+		t.Errorf("EstimateAll zero-attempt error %v is not ErrDegenerateTau", err)
+	}
+}
+
+// CollisionProb must reproduce EstimateAll's inline eq.-(3) product bit
+// for bit (it IS that product, factored out — this pins the refactor).
+func TestCollisionProbMatchesEstimateAll(t *testing.T) {
+	obs := []Observation{
+		{Attempts: 120, Slots: 1000},
+		{Attempts: 45, Slots: 1000},
+		{Attempts: 260, Slots: 1000},
+		{Attempts: 9, Slots: 1000},
+	}
+	ests, err := EstimateAll(obs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := make([]float64, len(obs))
+	for i, o := range obs {
+		taus[i], _ = o.Tau()
+	}
+	for i, e := range ests {
+		if got := CollisionProb(taus, i); got != e.P {
+			t.Errorf("node %d: CollisionProb %v != EstimateAll P %v", i, got, e.P)
+		}
 	}
 }

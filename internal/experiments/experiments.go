@@ -222,6 +222,7 @@ func All() []Runner {
 		{"D1", "Extension: CW misbehavior detection", Detection},
 		{"D2", "Closed loop: TFT driven by estimated observations", ClosedLoop},
 		{"D3", "GTFT tolerance vs reaction-time trade-off", GTFTTradeoff},
+		{"D4", "Streaming detection over population mixes", StreamingDetection},
 		{"X1", "Section VIII: access delay at the NE", DelayAnalysis},
 	}
 }

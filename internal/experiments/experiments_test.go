@@ -52,8 +52,8 @@ func TestReportMetricHelpers(t *testing.T) {
 
 func TestAllRegistryShape(t *testing.T) {
 	rs := All()
-	if len(rs) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(rs))
+	if len(rs) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -65,7 +65,7 @@ func TestAllRegistryShape(t *testing.T) {
 		}
 		seen[r.ID] = true
 	}
-	for _, id := range []string{"T1", "T2", "T3", "F2", "F3", "M1", "M2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "R1", "D1", "D2", "D3", "X1"} {
+	for _, id := range []string{"T1", "T2", "T3", "F2", "F3", "M1", "M2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "R1", "D1", "D2", "D3", "D4", "X1"} {
 		if !seen[id] {
 			t.Fatalf("missing experiment %s", id)
 		}
@@ -427,6 +427,48 @@ func TestGTFTTradeoffReport(t *testing.T) {
 		if lag := rep.Metrics[fmt.Sprintf("r0%d_beta0.6_lag", r0)]; lag >= 40 {
 			t.Errorf("r0=%d never reacted to a blatant cheat", r0)
 		}
+	}
+}
+
+func TestStreamingDetectionReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	rep, err := StreamingDetection(context.Background(), QuickSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blatant cheaters are caught at every tolerance, within the first
+	// couple of windows.
+	for _, mix := range []string{"malicious", "shortsighted"} {
+		for _, b := range []string{"b50", "b70", "b90"} {
+			if tpr := rep.Metrics[mix+"_"+b+"_tpr"]; tpr < 0.999 {
+				t.Errorf("%s %s TPR %.3f, want 1", mix, b, tpr)
+			}
+		}
+		if lat := rep.Metrics[mix+"_b50_latency_slots"]; lat > 2*streamDetectWindow {
+			t.Errorf("%s flagged only after %.0f slots", mix, lat)
+		}
+	}
+	// The all-honest population stays essentially unflagged at the
+	// paper-faithful tolerance, and loosening Beta toward 1 can only
+	// raise the false-alarm rate.
+	if fpr := rep.Metrics["honest_b50_fpr"]; fpr > 0.03 {
+		t.Errorf("honest mix FPR %.4f at beta 0.5", fpr)
+	}
+	if rep.Metrics["honest_b90_fpr"] < rep.Metrics["honest_b50_fpr"] {
+		t.Error("raising beta lowered the honest false-alarm rate")
+	}
+	// The intelligent cheater (just under Wc*) is only separable at high
+	// Beta: its detection coverage must not decrease with the tolerance.
+	if rep.Metrics["intelligent_b90_tpr"] < rep.Metrics["intelligent_b50_tpr"] {
+		t.Error("intelligent-cheater TPR fell as beta rose")
+	}
+	if rep.Metrics["intelligent_b90_tpr"] <= 0 {
+		t.Error("intelligent cheater never detected even at beta 0.9")
+	}
+	if len(rep.Artifacts) != 1 || !strings.Contains(rep.Artifacts[0].Content, "latency_slots") {
+		t.Error("missing CSV artifact")
 	}
 }
 

@@ -280,6 +280,11 @@ func (e *fastEngine) run() *Result {
 		sortAscending(tx) // draw order is ascending node order
 		e.transmitters = tx
 
+		// emin == res.Slots here (idle advance above restores the
+		// invariant), so both engines report identical event slots.
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(emin, tx)
+		}
 		res.Slots++
 		cur = emin + 1
 		if len(tx) == 1 {

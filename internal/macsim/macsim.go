@@ -34,6 +34,23 @@ import (
 	"selfishmac/internal/rng"
 )
 
+// Observer receives one event per busy virtual slot: the slot index (the
+// count of virtual slots that elapsed strictly before this busy slot —
+// idle slots included) and the set of transmitting nodes in ascending
+// node order. The transmitters slice is engine-owned scratch, valid only
+// for the duration of the call; observers must copy what they keep.
+//
+// Observation-stream contract: both engines (event-skipping and
+// reference) emit the identical event sequence for the same Config, and
+// attaching an observer changes nothing about the simulation — no PRNG
+// draws, no float accumulation, no counters — so Results stay
+// byte-identical with the observer on, off, or nil. Implementations on
+// the hot path must not allocate if the engines' 0-alloc steady-state
+// contract is to hold end to end.
+type Observer interface {
+	OnEvent(slot int64, transmitters []int)
+}
+
 // Config parameterises one simulation run.
 type Config struct {
 	// Timing carries sigma, Ts, Tc, E[P] for the access mode under test.
@@ -58,6 +75,10 @@ type Config struct {
 	// a collision occupies the channel for the maximum over its
 	// transmitters (the longest colliding frame). nil uses Timing.Tc.
 	PerNodeTc []float64
+	// Observer, when non-nil, is invoked once per busy virtual slot with
+	// the slot index and the transmitter set (see the Observer contract).
+	// It never alters the simulation.
+	Observer Observer
 }
 
 // Validate checks the configuration.
@@ -242,6 +263,12 @@ func runReference(cfg *Config) *Result {
 			if nodes[i].counter == 0 {
 				transmitters = append(transmitters, i)
 			}
+		}
+		// res.Slots currently counts the virtual slots strictly before
+		// this busy slot — the same value the fast engine reports as the
+		// event's absolute expiry slot.
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(res.Slots, transmitters)
 		}
 		res.Slots++
 		if len(transmitters) == 1 {

@@ -1,0 +1,135 @@
+package multihop
+
+import (
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/core"
+	"selfishmac/internal/phy"
+)
+
+// observer_test.go pins the spatial observation-stream contract: both
+// engines emit the identical (slot, transmitters) sequence, attaching an
+// observer never perturbs the SimResult, and Engine.Run advances
+// SlotAdvancer observers past each stage's slot count.
+
+type recordedEvent struct {
+	Slot int64
+	Tx   []int
+}
+
+type recordingObserver struct {
+	events []recordedEvent
+	base   int64 // advanced by Engine.Run between stages
+}
+
+func (r *recordingObserver) OnEvent(slot int64, transmitters []int) {
+	r.events = append(r.events, recordedEvent{Slot: r.base + slot, Tx: append([]int(nil), transmitters...)})
+}
+
+func (r *recordingObserver) Advance(slots int64) { r.base += slots }
+
+func TestDifferentialObserverStreamFastMatchesReference(t *testing.T) {
+	for _, tc := range diffCases(t) {
+		if len(tc.cfg.CW) > 300 {
+			continue // the stream contract is size-independent; skip the slow reference runs
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			refObs, fastObs := &recordingObserver{}, &recordingObserver{}
+
+			rcfg := tc.cfg
+			rcfg.Observer = refObs
+			rres, err := SimulateReference(tc.topo(t), rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fcfg := tc.cfg
+			fcfg.Observer = fastObs
+			fres, err := Simulate(tc.topo(t), fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(fastObs.events, refObs.events) {
+				t.Fatalf("event streams diverge: fast %d events, reference %d events", len(fastObs.events), len(refObs.events))
+			}
+			if !reflect.DeepEqual(fres, rres) {
+				t.Fatal("results diverge with observers attached")
+			}
+
+			// Stream/result consistency: per-node attempt counts fold out
+			// of the stream, and slots never decrease.
+			attempts := make([]int64, len(tc.cfg.CW))
+			last := int64(-1)
+			for _, ev := range fastObs.events {
+				if ev.Slot <= last {
+					t.Fatalf("event slots not strictly increasing: %d after %d", ev.Slot, last)
+				}
+				last = ev.Slot
+				for _, i := range ev.Tx {
+					attempts[i]++
+				}
+			}
+			for i, nd := range fres.Nodes {
+				if attempts[i] != nd.Attempts {
+					t.Fatalf("node %d: stream counted %d attempts, result says %d", i, attempts[i], nd.Attempts)
+				}
+			}
+		})
+	}
+}
+
+// Engine.Run must call Advance(stage slots) after every stage so an
+// observer's run-wide clock stays monotone across stage boundaries, and
+// the observed stream must not change the trace.
+func TestEngineRunAdvancesObserver(t *testing.T) {
+	cfg := simCfg(phy.RTSCTS, uniformCW(32, 5), 5e5, 91)
+	topo := func() Topology {
+		return &fixedGraph{adj: [][]int{{1}, {0, 2}, {1, 3}, {2, 4}, {3}}}
+	}
+	strategies := make([]core.Strategy, 5)
+	for i := range strategies {
+		strategies[i] = core.TFT{Initial: 32}
+	}
+
+	eng, err := NewEngine(topo(), strategies, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := eng.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs := &recordingObserver{}
+	ocfg := cfg
+	ocfg.Observer = obs
+	oeng, err := NewEngine(topo(), strategies, ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := oeng.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, trace) {
+		t.Fatal("observer changed the engine trace")
+	}
+	if len(obs.events) == 0 {
+		t.Fatal("engine emitted no events")
+	}
+	// With the Advance offsets applied, slots are strictly increasing
+	// across the whole multi-stage run, and the final base equals the sum
+	// of stage slot counts (> any single stage's).
+	last := int64(-1)
+	for _, ev := range obs.events {
+		if ev.Slot <= last {
+			t.Fatalf("cross-stage slots not strictly increasing: %d after %d", ev.Slot, last)
+		}
+		last = ev.Slot
+	}
+	if obs.base <= 0 || last >= obs.base {
+		t.Fatalf("Advance base %d inconsistent with last event slot %d", obs.base, last)
+	}
+}

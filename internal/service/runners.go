@@ -13,6 +13,7 @@ import (
 	"selfishmac/internal/phy"
 	"selfishmac/internal/replicate"
 	"selfishmac/internal/rng"
+	"selfishmac/internal/stream"
 	"selfishmac/internal/topology"
 )
 
@@ -21,6 +22,7 @@ func registerBuiltins(s *Server) {
 	s.RegisterRunner("replicate", runReplicateJob)
 	s.RegisterRunner("singlehop", runSinglehopJob)
 	s.RegisterRunner("experiment", runExperimentJob)
+	s.RegisterRunner("detect", runDetectJob)
 }
 
 // ReplicateParams parameterizes a "replicate" job: an adaptively
@@ -434,6 +436,235 @@ func settingsProfile(p string) string {
 		return "quick"
 	}
 	return p
+}
+
+// DetectParams parameterizes a "detect" job: one deterministic
+// single-hop simulation with the internal/stream online detector on the
+// engine's observer hook, streaming every flag event as a progress line.
+// Zero fields take the documented defaults.
+type DetectParams struct {
+	// Nodes is the population (default 10, max 200).
+	Nodes int `json:"nodes,omitempty"`
+	// ExpectedCW is the conforming contention window the detector
+	// assumes (default 166, the 10-node basic-access efficient-NE
+	// window). Honest nodes run at this CW.
+	ExpectedCW int `json:"expected_cw,omitempty"`
+	// Cheaters pins the first Cheaters nodes to CheaterCW (default 1;
+	// must leave at least one honest node).
+	Cheaters int `json:"cheaters,omitempty"`
+	// CheaterCW is the cheating window (default ExpectedCW/8, min 1).
+	CheaterCW int `json:"cheater_cw,omitempty"`
+	// Beta is the detection tolerance in (0, 1]: flag a node when its
+	// windowed estimate falls below Beta*ExpectedCW (default 0.6).
+	Beta float64 `json:"beta,omitempty"`
+	// WindowSlots is the estimation window in virtual slots (default 1500).
+	WindowSlots int64 `json:"window_slots,omitempty"`
+	// Mode is "basic" (default) or "rtscts".
+	Mode string `json:"mode,omitempty"`
+	// DurationUs is the simulated time in microseconds (default 30e6,
+	// clamped to 600e6 — a detect job is one uncancellable engine run,
+	// so its work must be bounded at submit time).
+	DurationUs float64 `json:"duration_us,omitempty"`
+	// Seed drives the simulation (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxFlagLines caps the streamed flag progress lines (default 50);
+	// later flags are still counted in the result, and one
+	// "flags_truncated" line marks the cut.
+	MaxFlagLines int `json:"max_flag_lines,omitempty"`
+}
+
+func (p *DetectParams) applyDefaults() {
+	if p.Nodes <= 0 {
+		p.Nodes = 10
+	}
+	if p.ExpectedCW <= 0 {
+		p.ExpectedCW = 166
+	}
+	if p.Cheaters == 0 {
+		p.Cheaters = 1
+	}
+	if p.CheaterCW <= 0 {
+		p.CheaterCW = p.ExpectedCW / 8
+		if p.CheaterCW < 1 {
+			p.CheaterCW = 1
+		}
+	}
+	if p.Beta == 0 {
+		p.Beta = 0.6
+	}
+	if p.WindowSlots <= 0 {
+		p.WindowSlots = 1500
+	}
+	if p.Mode == "" {
+		p.Mode = "basic"
+	}
+	if p.DurationUs <= 0 {
+		p.DurationUs = 30e6
+	}
+	if p.DurationUs > 600e6 {
+		p.DurationUs = 600e6
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.MaxFlagLines <= 0 {
+		p.MaxFlagLines = 50
+	}
+}
+
+// DetectFlagLine is one streamed flag event (progress, event "flag").
+type DetectFlagLine struct {
+	Event      string  `json:"event"`
+	Node       int     `json:"node"`
+	Window     int64   `json:"window"`
+	EndSlot    int64   `json:"end_slot"`
+	EstCW      float64 `json:"est_cw"`
+	ExpectedCW float64 `json:"expected_cw"`
+	Margin     float64 `json:"margin"`
+	Cheater    bool    `json:"cheater"`
+}
+
+// DetectNodeView is one node's detection summary in a DetectResult.
+type DetectNodeView struct {
+	Node          int     `json:"node"`
+	CW            int     `json:"cw"`
+	Cheater       bool    `json:"cheater"`
+	Flags         int64   `json:"flags"`
+	FirstFlagSlot int64   `json:"first_flag_slot"` // -1: never flagged
+	MeanEstCW     float64 `json:"mean_est_cw"`
+	EstWindows    int     `json:"est_windows"`
+}
+
+// DetectResult is the terminal payload of a "detect" job.
+type DetectResult struct {
+	Slots          int64            `json:"slots"`
+	Windows        int64            `json:"windows"`
+	Flags          int64            `json:"flags"`
+	TruePositives  int              `json:"true_positives"`  // cheater nodes flagged at least once
+	FalsePositives int64            `json:"false_positives"` // flag events on honest nodes
+	LatencySlots   int64            `json:"latency_slots"`   // earliest cheater first-flag slot, -1 if none
+	Nodes          []DetectNodeView `json:"nodes"`
+}
+
+func runDetectJob(ctx context.Context, raw json.RawMessage, progress func(v any)) (any, error) {
+	var p DetectParams
+	if err := decodeParams(raw, &p); err != nil {
+		return nil, fmt.Errorf("service: bad detect params: %w", err)
+	}
+	p.applyDefaults()
+	if p.Nodes > 200 {
+		return nil, fmt.Errorf("service: detect population %d exceeds 200", p.Nodes)
+	}
+	if p.Cheaters < 0 || p.Cheaters >= p.Nodes {
+		return nil, fmt.Errorf("service: %d cheaters leave no honest node among %d", p.Cheaters, p.Nodes)
+	}
+	var mode phy.AccessMode
+	switch p.Mode {
+	case "basic":
+		mode = phy.Basic
+	case "rtscts":
+		mode = phy.RTSCTS
+	default:
+		return nil, fmt.Errorf("service: unknown mode %q (want basic or rtscts)", p.Mode)
+	}
+	timing, err := phy.Default().Timing(mode)
+	if err != nil {
+		return nil, fmt.Errorf("service: detect timing: %w", err)
+	}
+
+	flagged := 0
+	mon, err := stream.NewMonitor(stream.Config{
+		Nodes:       p.Nodes,
+		WindowSlots: p.WindowSlots,
+		Keep:        4,
+		MaxStage:    phy.Default().MaxBackoffStage,
+		ExpectedCW:  p.ExpectedCW,
+		Beta:        p.Beta,
+		OnFlag: func(ev stream.FlagEvent) {
+			flagged++
+			if flagged == p.MaxFlagLines+1 {
+				progress(map[string]any{"event": "flags_truncated", "emitted": p.MaxFlagLines})
+			}
+			if flagged > p.MaxFlagLines {
+				return
+			}
+			progress(DetectFlagLine{
+				Event: "flag", Node: ev.Node, Window: ev.Window, EndSlot: ev.EndSlot,
+				EstCW: ev.EstCW, ExpectedCW: ev.ExpectedCW, Margin: ev.Margin,
+				Cheater: ev.Node < p.Cheaters,
+			})
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: detect monitor: %w", err)
+	}
+
+	cw := make([]int, p.Nodes)
+	for i := range cw {
+		cw[i] = p.ExpectedCW
+	}
+	for i := 0; i < p.Cheaters; i++ {
+		cw[i] = p.CheaterCW
+	}
+	cfg := macsim.Config{
+		Timing:   timing,
+		MaxStage: phy.Default().MaxBackoffStage,
+		CW:       cw,
+		Duration: p.DurationUs,
+		Seed:     rng.DeriveSeed(p.Seed, "service.detect.sim", 0),
+		Gain:     1,
+		Cost:     0.01,
+		Observer: mon,
+	}
+	eng, err := acquireMacsim(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("service: detect engine: %w", err)
+	}
+	defer func() {
+		// Detach the per-job monitor before pooling so an idle engine
+		// does not pin it (the next acquire reconfigures anyway).
+		cfg.Observer = nil
+		if eng.Reconfigure(cfg) == nil {
+			releaseMacsim(eng, p.Nodes)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	progress(map[string]any{
+		"event": "started", "nodes": p.Nodes, "cheaters": p.Cheaters,
+		"expected_cw": p.ExpectedCW, "cheater_cw": p.CheaterCW, "beta": p.Beta,
+		"window_slots": p.WindowSlots, "duration_us": p.DurationUs,
+	})
+	res := eng.Run()
+	mon.Finish(res.Slots)
+
+	view := &DetectResult{
+		Slots:        res.Slots,
+		Windows:      mon.Windows(),
+		Flags:        mon.Flags(),
+		LatencySlots: -1,
+	}
+	for i := 0; i < p.Nodes; i++ {
+		sum := mon.EstimateSummary(i)
+		nv := DetectNodeView{
+			Node: i, CW: cw[i], Cheater: i < p.Cheaters,
+			Flags: mon.NodeFlags(i), FirstFlagSlot: mon.FirstFlagSlot(i),
+			MeanEstCW: sum.Mean, EstWindows: sum.N,
+		}
+		if nv.Cheater {
+			if nv.FirstFlagSlot >= 0 {
+				view.TruePositives++
+				if view.LatencySlots < 0 || nv.FirstFlagSlot < view.LatencySlots {
+					view.LatencySlots = nv.FirstFlagSlot
+				}
+			}
+		} else {
+			view.FalsePositives += nv.Flags
+		}
+		view.Nodes = append(view.Nodes, nv)
+	}
+	return view, nil
 }
 
 // decodeParams strictly decodes a job's params blob, rejecting unknown

@@ -674,6 +674,84 @@ func TestReplicateJobCancelledKeepsPrefix(t *testing.T) {
 	}
 }
 
+// TestDetectJobEndToEnd runs a "detect" job with one blatant cheater:
+// the job must finish Done, stream at least one event:"flag" progress
+// line naming the cheater, and summarize detection (TPR 1, a finite
+// first-flag latency, cheater estimate far under the honest window).
+func TestDetectJobEndToEnd(t *testing.T) {
+	params := `{"nodes":10,"expected_cw":166,"cheaters":1,"cheater_cw":20,` +
+		`"beta":0.6,"window_slots":1500,"duration_us":10000000,"seed":7}`
+	s := newTestServer(t, nil)
+	j, err := s.Submit(SubmitRequest{Kind: "detect", Params: json.RawMessage(params)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, j); got != StateDone {
+		v := j.view(false)
+		t.Fatalf("detect job = %s (err %q)", got, v.Error)
+	}
+	result, _, _ := j.resultNow()
+	view, ok := result.(*DetectResult)
+	if !ok {
+		t.Fatalf("result type %T", result)
+	}
+	if view.TruePositives != 1 || view.LatencySlots < 0 {
+		t.Fatalf("result = %+v, want the cheater flagged with a latency", view)
+	}
+	if view.Windows < 2 || view.Slots <= 0 {
+		t.Errorf("windows %d slots %d, want a multi-window run", view.Windows, view.Slots)
+	}
+	cheater := view.Nodes[0]
+	if !cheater.Cheater || cheater.Flags == 0 || cheater.MeanEstCW >= 0.6*166 {
+		t.Errorf("cheater summary = %+v", cheater)
+	}
+	lines, _, total := j.progressTail(0)
+	if total < 2 {
+		t.Fatalf("progress lines = %d, want started + flags", total)
+	}
+	var flags int
+	for _, line := range lines {
+		var fl DetectFlagLine
+		if err := json.Unmarshal([]byte(line), &fl); err != nil || fl.Event != "flag" {
+			continue
+		}
+		flags++
+		if fl.Node != 0 || !fl.Cheater {
+			t.Errorf("flag line %q does not name the cheater", line)
+		}
+		if fl.EstCW >= fl.ExpectedCW*0.6 || fl.Margin >= 0.6 {
+			t.Errorf("flag line %q above the beta threshold", line)
+		}
+	}
+	if flags == 0 {
+		t.Fatal("no event:\"flag\" progress line streamed")
+	}
+}
+
+// TestDetectJobParamValidation pins the submit-to-run failure modes.
+func TestDetectJobParamValidation(t *testing.T) {
+	s := newTestServer(t, nil)
+	for _, tc := range []struct {
+		name, params, wantErr string
+	}{
+		{"all cheaters", `{"nodes":4,"cheaters":4}`, "no honest node"},
+		{"bad mode", `{"mode":"csma"}`, "unknown mode"},
+		{"unknown field", `{"nodez":10}`, "unknown field"},
+		{"bad beta", `{"beta":1.5}`, "invalid config"},
+	} {
+		j, err := s.Submit(SubmitRequest{Kind: "detect", Params: json.RawMessage(tc.params)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := waitTerminal(t, j); got != StateFailed {
+			t.Fatalf("%s: state %s, want failed", tc.name, got)
+		}
+		if v := j.view(false); !strings.Contains(v.Error, tc.wantErr) {
+			t.Errorf("%s: error %q, want %q", tc.name, v.Error, tc.wantErr)
+		}
+	}
+}
+
 func TestExperimentJobUnknownID(t *testing.T) {
 	s := newTestServer(t, nil)
 	j, err := s.Submit(SubmitRequest{Kind: "experiment", Params: json.RawMessage(`{"id":"ZZ"}`)})

@@ -1,0 +1,123 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+
+	"selfishmac/internal/detect"
+)
+
+// FuzzMonitor drives the windowed estimator through arbitrary event
+// scripts — window roll-over, huge idle jumps, non-monotone slots,
+// stage advances, repeated finishes — and asserts the structural
+// invariants: no panics, monotone clocks, windows never holding more
+// attempts than slots, and every error surfaced by the accessors
+// classifiable with errors.Is against the detect/stream sentinels.
+//
+// The script is consumed 3 bytes per op: [opcode, a, b].
+//
+//	opcode % 4 == 0..1: OnEvent(slot += a*256+b, transmitters from a's low bits)
+//	opcode % 4 == 2:    OnEvent with a *rewound* slot (non-monotone input)
+//	opcode % 4 == 3:    Advance(a*256+b) (stage boundary)
+func FuzzMonitor(f *testing.F) {
+	f.Add(int64(10), 2, 0.3, []byte{0, 3, 7, 1, 1, 200, 3, 0, 50, 2, 7, 7})
+	f.Add(int64(1), 1, 0.0, []byte{0, 255, 255, 0, 0, 0})
+	f.Add(int64(1<<40), 4, 1.0, []byte{1, 9, 9, 3, 255, 255, 0, 1, 1})
+	f.Add(int64(7), 3, 0.5, []byte{})
+
+	f.Fuzz(func(t *testing.T, windowSlots int64, keep int, alpha float64, script []byte) {
+		const nodes = 5
+		cfg := Config{
+			Nodes: nodes, WindowSlots: windowSlots, Keep: keep,
+			MaxStage: 6, ExpectedCW: 64, Beta: 0.6, Alpha: alpha,
+		}
+		mon, err := NewMonitor(cfg)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("rejection %v is not ErrInvalidConfig", err)
+			}
+			return
+		}
+
+		var slot int64
+		tx := make([]int, 0, nodes)
+		for len(script) >= 3 {
+			op, a, b := script[0], int64(script[1]), int64(script[2])
+			script = script[3:]
+
+			tx = tx[:0]
+			for i := 0; i < nodes; i++ {
+				if a&(1<<uint(i)) != 0 {
+					tx = append(tx, i)
+				}
+			}
+			prevSlots, prevWindows := mon.Slots(), mon.Windows()
+			switch op % 4 {
+			case 0, 1:
+				slot += a*256 + b
+				mon.OnEvent(slot, tx)
+			case 2:
+				rewound := slot - (a*256 + b)
+				mon.OnEvent(rewound, tx)
+			case 3:
+				mon.Advance(a*256 + b)
+				slot = 0 // stage clocks restart after an advance
+			}
+			if mon.Slots() < prevSlots {
+				t.Fatalf("slot clock went backwards: %d -> %d", prevSlots, mon.Slots())
+			}
+			if mon.Windows() < prevWindows {
+				t.Fatalf("window count went backwards: %d -> %d", prevWindows, mon.Windows())
+			}
+		}
+		mon.Finish(slot)
+
+		// Every retained window respects attempts <= WindowSlots even
+		// under non-monotone input (the clamp guarantees it).
+		buf := make([]int64, nodes)
+		for age := 0; age < keep; age++ {
+			if _, ok := mon.RecentCounts(age, buf); !ok {
+				break
+			}
+			for i, c := range buf {
+				if c < 0 || c > windowSlots {
+					t.Fatalf("retained window holds %d attempts for node %d in %d slots", c, i, windowSlots)
+				}
+			}
+		}
+
+		// Cumulative observations are structurally valid, and their only
+		// admissible Tau failure is the zero-slot sentinel (empty run).
+		for _, o := range mon.CumulativeObservations(nil) {
+			if _, err := o.Tau(); err != nil {
+				if !errors.Is(err, detect.ErrNoSlots) && !errors.Is(err, detect.ErrAttemptsExceedSlots) {
+					t.Fatalf("cumulative Tau error %v is not a detect sentinel", err)
+				}
+				if errors.Is(err, detect.ErrAttemptsExceedSlots) {
+					t.Fatalf("monitor produced attempts > slots: %+v", o)
+				}
+			}
+		}
+
+		// EWMA accessors either produce a positive finite estimate or a
+		// classifiable sentinel.
+		for i := 0; i < nodes; i++ {
+			cw, err := mon.EWMACW(i)
+			switch {
+			case err == nil:
+				if !(cw >= 1) {
+					t.Fatalf("node %d EWMA CW %g < 1", i, cw)
+				}
+			case errors.Is(err, detect.ErrNoSlots), errors.Is(err, detect.ErrDegenerateTau):
+			default:
+				t.Fatalf("node %d EWMA error %v is not a detect sentinel", i, err)
+			}
+		}
+
+		// Reset restores a blank monitor.
+		mon.Reset()
+		if mon.Slots() != 0 || mon.Windows() != 0 || mon.Flags() != 0 {
+			t.Fatal("Reset left residual state")
+		}
+	})
+}

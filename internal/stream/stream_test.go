@@ -1,0 +1,374 @@
+package stream
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/detect"
+	"selfishmac/internal/macsim"
+	"selfishmac/internal/phy"
+	"selfishmac/internal/replicate"
+)
+
+// detectCfg is the shared scenario: six saturated nodes, node 0 cheating
+// with a quarter of the conforming window.
+func detectCfg(seed uint64) macsim.Config {
+	return macsim.Config{
+		Timing: phy.Default().MustTiming(phy.Basic), MaxStage: 6,
+		CW: []int{16, 64, 64, 64, 64, 64}, Duration: 3e6, Seed: seed,
+		Gain: 1, Cost: 0.01,
+	}
+}
+
+func monitorCfg(onEst func(WindowEstimate)) Config {
+	return Config{
+		Nodes: 6, WindowSlots: 200, Keep: 4, MaxStage: 6,
+		ExpectedCW: 64, Beta: 0.6, Alpha: 0.3, OnEstimate: onEst,
+	}
+}
+
+// tee fans one engine event stream out to a Monitor and a raw recording.
+type tee struct {
+	m      *Monitor
+	slots  []int64
+	events [][]int
+}
+
+func (t *tee) OnEvent(slot int64, tx []int) {
+	t.m.OnEvent(slot, tx)
+	t.slots = append(t.slots, slot)
+	t.events = append(t.events, append([]int(nil), tx...))
+}
+
+// TestDifferentialStreamingMatchesBatch pins the tentpole equivalence:
+// every per-window streaming estimate equals the batch detect fold
+// (Observation.Tau → CollisionProb → EstimateCW) over the same recorded
+// trace, bit for bit, and the cumulative observations equal
+// detect.FromSimResult exactly.
+func TestDifferentialStreamingMatchesBatch(t *testing.T) {
+	var got []WindowEstimate
+	mon, err := NewMonitor(monitorCfg(func(e WindowEstimate) { got = append(got, e) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &tee{m: mon}
+	cfg := detectCfg(7)
+	cfg.Observer = tr
+	res, err := macsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Finish(res.Slots)
+
+	// Fold the recorded trace into fixed windows by hand (the batch side
+	// of the differential): counts[w][i] = attempts of node i in window w.
+	const W = 200
+	nWin := int(res.Slots / W)
+	counts := make([][]int64, nWin)
+	for w := range counts {
+		counts[w] = make([]int64, 6)
+	}
+	for k, slot := range tr.slots {
+		if w := int(slot / W); w < nWin {
+			for _, i := range tr.events[k] {
+				counts[w][i]++
+			}
+		}
+	}
+
+	// Batch-estimate each non-idle window with the detect entry points
+	// and demand exact equality with the streamed estimates.
+	var want []WindowEstimate
+	for w := 0; w < nWin; w++ {
+		busy := int64(0)
+		for _, c := range counts[w] {
+			busy += c
+		}
+		if busy == 0 {
+			continue
+		}
+		taus := make([]float64, 6)
+		for i, c := range counts[w] {
+			taus[i] = float64(c) / float64(W)
+		}
+		for i := range counts[w] {
+			e := WindowEstimate{
+				Node: i, Window: int64(w), EndSlot: int64(w+1) * W,
+				Attempts: counts[w][i],
+			}
+			tau, err := detect.Observation{Attempts: counts[w][i], Slots: W}.Tau()
+			if err == nil && tau > 0 && tau < 1 {
+				e.Tau = tau
+				e.P = detect.CollisionProb(taus, i)
+				e.CW, err = detect.EstimateCW(tau, e.P, 6)
+				if err != nil {
+					t.Fatalf("window %d node %d: batch estimate failed: %v", w, i, err)
+				}
+			} else {
+				e.Tau = taus[i]
+				e.Err = detect.ErrDegenerateTau
+			}
+			want = append(want, e)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("monitor emitted no estimates")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d estimates, batch fold produced %d", len(got), len(want))
+	}
+	for k := range want {
+		g, w := got[k], want[k]
+		if g.Node != w.Node || g.Window != w.Window || g.EndSlot != w.EndSlot ||
+			g.Attempts != w.Attempts || g.Tau != w.Tau || g.P != w.P || g.CW != w.CW ||
+			!errors.Is(g.Err, w.Err) {
+			t.Fatalf("estimate %d diverges:\n  streamed %+v\n  batch    %+v", k, g, w)
+		}
+	}
+
+	// Cumulative: the monitor's run-wide observations are exactly what
+	// the batch estimator reads off the finished result.
+	stream := mon.CumulativeObservations(nil)
+	batch := detect.FromSimResult(res)
+	if !reflect.DeepEqual(stream, batch) {
+		t.Fatalf("cumulative observations diverge:\n  streamed %+v\n  batch    %+v", stream, batch)
+	}
+	se, err := detect.EstimateAll(stream, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := detect.EstimateAll(batch, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(se, be) {
+		t.Fatal("cumulative estimates diverge")
+	}
+}
+
+// monitoredReplicator is the worker unit for the replicate tests: one
+// reusable engine with its own monitor attached.
+type monitoredReplicator struct {
+	eng *macsim.Engine
+	mon *Monitor
+}
+
+func newMonitoredReplicator() (replicate.Replicator, error) {
+	mon, err := NewMonitor(monitorCfg(nil))
+	if err != nil {
+		return nil, err
+	}
+	cfg := detectCfg(0)
+	cfg.Observer = mon
+	eng, err := macsim.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &monitoredReplicator{eng: eng, mon: mon}, nil
+}
+
+func (r *monitoredReplicator) Replicate(seed uint64, out []float64) error {
+	r.mon.Reset()
+	r.eng.Reset(seed)
+	res := r.eng.Run()
+	r.mon.Finish(res.Slots)
+	out[0] = r.mon.EstimateSummary(0).Mean   // cheater's mean windowed Ŵ
+	out[1] = float64(r.mon.FirstFlagSlot(0)) // detection latency
+	out[2] = float64(r.mon.Flags())          // total flag events
+	out[3] = r.mon.EstimateSummary(1).Mean   // an honest node, for contrast
+	return nil
+}
+
+// The replication fold over monitored runs must be bit-identical at any
+// worker count, like every other replicated metric in the repo.
+func TestMonitoredReplicationWorkerInvariance(t *testing.T) {
+	plan := replicate.Plan{
+		BaseSeed: 99, Stream: "stream.test", Metrics: 4,
+		MinReps: 8, MaxReps: 8, Workers: 1,
+	}
+	serial, err := replicate.Run(plan, newMonitoredReplicator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Workers = 4
+	parallel, err := replicate.Run(plan, newMonitoredReplicator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Moments, parallel.Moments) {
+		t.Fatal("monitored replication moments diverge between 1 and 4 workers")
+	}
+	// Sanity on the content: the cheater is flagged (latency recorded)
+	// and estimated well under the honest nodes.
+	if serial.Mean(1) < 0 {
+		t.Errorf("cheater never flagged: mean first-flag slot %g", serial.Mean(1))
+	}
+	if serial.Mean(0) >= serial.Mean(3) {
+		t.Errorf("cheater Ŵ %g not below honest Ŵ %g", serial.Mean(0), serial.Mean(3))
+	}
+}
+
+// The observer hot path — engine run, per-event monitor updates, window
+// closes, Reset/Finish — must allocate nothing in steady state, so
+// attaching detection costs no allocations on top of the engines' own
+// 0-alloc contract.
+func TestMonitoredRunAllocationFree(t *testing.T) {
+	var flags int64
+	cfg := monitorCfg(nil)
+	cfg.OnFlag = func(FlagEvent) { flags++ }
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := detectCfg(3)
+	mcfg.Duration = 5e5
+	mcfg.Observer = mon
+	eng, err := macsim.NewEngine(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed uint64
+	// Warm-up: let the calendar settle at its final capacity.
+	for k := 0; k < 3; k++ {
+		mon.Reset()
+		eng.Reset(seed)
+		seed++
+		mon.Finish(eng.Run().Slots)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		mon.Reset()
+		eng.Reset(seed)
+		seed++
+		mon.Finish(eng.Run().Slots)
+	})
+	if allocs != 0 {
+		t.Fatalf("monitored run allocates %v per run, want 0", allocs)
+	}
+	if flags == 0 {
+		t.Fatal("cheater never flagged during the allocation runs")
+	}
+}
+
+// A deterministic trace exercising window roll-over, idle bulk-skip,
+// Advance and the ring accessor.
+func TestMonitorWindowMechanics(t *testing.T) {
+	mon, err := NewMonitor(Config{
+		Nodes: 2, WindowSlots: 10, Keep: 2, MaxStage: 5,
+		ExpectedCW: 100, Beta: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0: node 0 transmits 3 times, node 1 once.
+	mon.OnEvent(1, []int{0})
+	mon.OnEvent(4, []int{0, 1})
+	mon.OnEvent(7, []int{0})
+	// Jump over windows 1..4 (idle) into window 5.
+	mon.OnEvent(53, []int{1})
+	if got := mon.Windows(); got != 5 {
+		t.Fatalf("windows = %d after idle jump, want 5", got)
+	}
+	// Advance as a stage boundary: 60 slots total in stage one.
+	mon.Advance(60)
+	if got := mon.Windows(); got != 6 {
+		t.Fatalf("windows = %d after Advance(60), want 6", got)
+	}
+	// Stage two: slots restart at 0; absolute slot = 60 + slot.
+	mon.OnEvent(2, []int{0})
+	mon.Finish(20)
+	if got := mon.Windows(); got != 8 {
+		t.Fatalf("windows = %d after Finish, want 8", got)
+	}
+	if got := mon.Slots(); got != 80 {
+		t.Fatalf("slots = %d, want 80", got)
+	}
+
+	// Ring: the two retained non-idle windows are 6 (newest) and 5.
+	buf := make([]int64, 2)
+	win, ok := mon.RecentCounts(0, buf)
+	if !ok || win != 6 || buf[0] != 1 || buf[1] != 0 {
+		t.Fatalf("newest retained window = %d counts %v ok=%v", win, buf, ok)
+	}
+	win, ok = mon.RecentCounts(1, buf)
+	if !ok || win != 5 || buf[0] != 0 || buf[1] != 1 {
+		t.Fatalf("second retained window = %d counts %v ok=%v", win, buf, ok)
+	}
+	if _, ok := mon.RecentCounts(2, buf); ok {
+		t.Fatal("age beyond Keep reported ok")
+	}
+
+	// Cumulative counts fold the whole trace.
+	obs := mon.CumulativeObservations(nil)
+	want := []detect.Observation{{Attempts: 4, Slots: 80}, {Attempts: 2, Slots: 80}}
+	if !reflect.DeepEqual(obs, want) {
+		t.Fatalf("cumulative observations %+v, want %+v", obs, want)
+	}
+}
+
+// Validate must reject broken configs with the Is-able sentinel, and the
+// EWMA accessor must surface the detect sentinels.
+func TestConfigValidateAndEWMASentinels(t *testing.T) {
+	bad := []Config{
+		{},
+		{Nodes: 3, WindowSlots: 0, Keep: 1, ExpectedCW: 64, Beta: 0.5},
+		{Nodes: 3, WindowSlots: 10, Keep: 0, ExpectedCW: 64, Beta: 0.5},
+		{Nodes: 3, WindowSlots: 10, Keep: 1, ExpectedCW: 0, Beta: 0.5},
+		{Nodes: 3, WindowSlots: 10, Keep: 1, ExpectedCW: 64, Beta: 1.5},
+		{Nodes: 3, WindowSlots: 10, Keep: 1, ExpectedCW: 64, Beta: 0.5, Alpha: 2},
+		{Nodes: 3, WindowSlots: 10, Keep: 1, ExpectedCW: 64, Beta: 0.5, MaxStage: 99},
+	}
+	for k, cfg := range bad {
+		if _, err := NewMonitor(cfg); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("bad config %d: error %v is not ErrInvalidConfig", k, err)
+		}
+	}
+
+	mon, err := NewMonitor(Config{
+		Nodes: 2, WindowSlots: 10, Keep: 1, MaxStage: 5,
+		ExpectedCW: 64, Beta: 0.5, Alpha: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.EWMACW(0); !errors.Is(err, detect.ErrNoSlots) {
+		t.Errorf("unseeded EWMA error %v is not detect.ErrNoSlots", err)
+	}
+	// One busy window: node 0 active, node 1 silent → degenerate EWMA tau.
+	mon.OnEvent(0, []int{0})
+	mon.Finish(10)
+	if _, err := mon.EWMACW(1); !errors.Is(err, detect.ErrDegenerateTau) {
+		t.Errorf("silent node EWMA error %v is not detect.ErrDegenerateTau", err)
+	}
+	if cw, err := mon.EWMACW(0); err != nil || cw <= 0 {
+		t.Errorf("active node EWMA = %g, %v", cw, err)
+	}
+}
+
+// Non-monotone slots (which a buggy or adversarial caller could feed)
+// are clamped: a window never records more attempts than slots, so the
+// batch sentinels cannot fire from streamed counts.
+func TestMonitorClampsNonMonotoneSlots(t *testing.T) {
+	mon, err := NewMonitor(Config{
+		Nodes: 1, WindowSlots: 4, Keep: 1, MaxStage: 5,
+		ExpectedCW: 64, Beta: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		mon.OnEvent(0, []int{0}) // same slot over and over
+	}
+	mon.Finish(12)
+	obs := mon.CumulativeObservations(nil)
+	if obs[0].Attempts != 10 || obs[0].Slots != 12 {
+		t.Fatalf("observations %+v", obs[0])
+	}
+	if _, err := obs[0].Tau(); err != nil {
+		t.Fatalf("clamped counts still degenerate: %v", err)
+	}
+	buf := make([]int64, 1)
+	if win, ok := mon.RecentCounts(0, buf); !ok || buf[0] > 4 {
+		t.Fatalf("window %d holds %d attempts in 4 slots (ok=%v)", win, buf[0], ok)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"selfishmac/internal/ratecontrol"
 	"selfishmac/internal/rng"
 	"selfishmac/internal/search"
+	"selfishmac/internal/stream"
 	"selfishmac/internal/topology"
 )
 
@@ -365,6 +366,32 @@ func ObservationsFromSim(res *SimResult) []CWObservation {
 // to estimate a peer's CW within relErr at ~95% confidence.
 func RequiredObservationSlots(tau, relErr float64) (int64, error) {
 	return detect.RequiredSlots(tau, relErr)
+}
+
+// Streaming detection: the batch estimator folded over the live engine
+// event stream (internal/stream). A StreamMonitor attaches to either
+// simulator through the Observer hook (SimConfig.Observer or
+// SpatialSimConfig.Observer) and flags misbehaving peers while the run
+// is still in flight, with first-detection-latency accounting.
+type (
+	// StreamMonitorConfig parameterises an online detection monitor.
+	StreamMonitorConfig = stream.Config
+	// StreamMonitor is the online detector; it satisfies both engines'
+	// Observer interfaces. Attach one monitor per engine.
+	StreamMonitor = stream.Monitor
+	// StreamFlagEvent is one online misbehavior flag (delivered to
+	// StreamMonitorConfig.OnFlag as it happens).
+	StreamFlagEvent = stream.FlagEvent
+	// StreamWindowEstimate is one per-node, per-window estimation
+	// outcome (delivered to StreamMonitorConfig.OnEstimate).
+	StreamWindowEstimate = stream.WindowEstimate
+)
+
+// NewStreamMonitor builds an online detector. Set it as the simulation
+// config's Observer, run the engine, then call Finish(res.Slots) to
+// close the trailing partial window before reading flag state.
+func NewStreamMonitor(cfg StreamMonitorConfig) (*StreamMonitor, error) {
+	return stream.NewMonitor(cfg)
 }
 
 // Rate-control extension (the paper's suggested generalization).
