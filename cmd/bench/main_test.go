@@ -27,19 +27,27 @@ func TestBenchWritesJSON(t *testing.T) {
 	if f.Profile != "quick" || f.GoVersion == "" || f.Generated == "" {
 		t.Fatalf("metadata incomplete: %+v", f)
 	}
-	wantScenarios := []string{
-		"macsim/basic-n20-w336",
-		"macsim/basic-n50-w879",
-		detectionName,
-		"multihop/sparse-n50-w116",
-		"multihop/mobile-n100-w26",
-		"multihop/mobile-n500-w26",
-		"multihop/mobile-n1000-w26",
-		"multihop/mobile-n5000-w26",
-		"multihop/mobile-n10000-w26",
-		"topology/adjacency-n500",
-		"topology/adjacency-n1000",
-		"topology/adjacency-n10000",
+	// Scenario → engine labels. Most pairs are fast/reference; the
+	// detection scenario relabels to observed/plain (same engine,
+	// observer on vs off) and the adjacency-delta scenarios to
+	// delta/rebuild (patched view vs bulk snapshot).
+	wantScenarios := map[string][2]string{
+		"macsim/basic-n20-w336":                  {"fast", "reference"},
+		"macsim/basic-n50-w879":                  {"fast", "reference"},
+		detectionName:                            {"observed", "plain"},
+		"multihop/sparse-n50-w116":               {"fast", "reference"},
+		"multihop/mobile-n100-w26":               {"fast", "reference"},
+		"multihop/mobile-n500-w26":               {"fast", "reference"},
+		"multihop/mobile-n1000-w26":              {"fast", "reference"},
+		"multihop/mobile-n5000-w26":              {"fast", "reference"},
+		"multihop/mobile-n10000-w26":             {"fast", "reference"},
+		"multihop/static-n1000":                  {"delta", "rebuild"},
+		"multihop/mobile-n10000-delta":           {"delta", "rebuild"},
+		"topology/delta-vs-rebuild-n1000":        {"delta", "rebuild"},
+		"topology/delta-vs-rebuild-n1000-paused": {"delta", "rebuild"},
+		"topology/adjacency-n500":                {"fast", "reference"},
+		"topology/adjacency-n1000":               {"fast", "reference"},
+		"topology/adjacency-n10000":              {"fast", "reference"},
 	}
 	if len(f.Benchmarks) != 2*len(wantScenarios) {
 		t.Fatalf("got %d benchmark entries, want %d", len(f.Benchmarks), 2*len(wantScenarios))
@@ -54,15 +62,9 @@ func TestBenchWritesJSON(t *testing.T) {
 			t.Errorf("%s: missing event rate (%d events, %g/s)", b.Name, b.EventsPerRun, b.EventsPerSec)
 		}
 	}
-	for _, s := range wantScenarios {
-		// The detection scenario relabels its engines: same engine with
-		// the observer on vs off, not fast vs reference.
-		fastLabel, refLabel := "fast", "reference"
-		if s == detectionName {
-			fastLabel, refLabel = "observed", "plain"
-		}
-		fast, okF := byName[s+"/"+fastLabel]
-		ref, okR := byName[s+"/"+refLabel]
+	for s, labels := range wantScenarios {
+		fast, okF := byName[s+"/"+labels[0]]
+		ref, okR := byName[s+"/"+labels[1]]
 		if !okF || !okR {
 			t.Fatalf("scenario %s missing an engine entry", s)
 		}

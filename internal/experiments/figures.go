@@ -299,13 +299,18 @@ func payoffCurve(ctx context.Context, g *core.Game, wMax, points, workers int) (
 	}
 	xs = make([]float64, len(grid))
 	ys = make([]float64, len(grid))
-	err = forEachIndex(ctx, len(grid), workers, func(i int) error {
-		u, err := g.NormalizedGlobalPayoff(grid[i])
-		if err != nil {
-			return err
+	// One fixed-point solve is microseconds of work; batch several per
+	// pool task so dispatch overhead is amortized across the grid.
+	const solveBatch = 8
+	err = forEachChunk(ctx, len(grid), workers, solveBatch, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			u, err := g.NormalizedGlobalPayoff(grid[i])
+			if err != nil {
+				return err
+			}
+			xs[i] = float64(grid[i])
+			ys[i] = u
 		}
-		xs[i] = float64(grid[i])
-		ys[i] = u
 		return nil
 	})
 	if err != nil {

@@ -72,3 +72,26 @@ func forEachIndex(ctx context.Context, n, workers int, fn func(i int) error) err
 	}
 	return ctx.Err()
 }
+
+// forEachChunk is forEachIndex over contiguous index chunks of up to
+// `chunk` elements: fn(lo, hi) handles [lo, hi). It exists for sweeps
+// whose per-index work is tiny — a single Bianchi fixed-point solve
+// costs microseconds, so claiming indices one at a time spends a
+// meaningful fraction of the sweep on atomic dispatch and closure
+// overhead. Batching keeps the same index-owned-state determinism
+// contract (fn iterates its chunk in ascending order; the lowest-index
+// error still wins).
+func forEachChunk(ctx context.Context, n, workers, chunk int, fn func(lo, hi int) error) error {
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	return forEachIndex(ctx, chunks, workers, func(c int) error {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}

@@ -97,11 +97,22 @@ func (st *churnState) step() {
 // allocations in steady state. The returned structure is valid until the
 // next AdjacencyLists call; a maskedTopology is not safe for concurrent
 // use.
+//
+// When the base reports position staleness (PositionVersioner, which the
+// grid-backed network implements), AdjacencyLists also skips the refill
+// outright if neither the activity mask nor the base's positions changed
+// since the last call — so an unchanged-membership stage, or the
+// engine-then-simulator double consult within one stage, costs O(n) mask
+// comparison instead of an O(E) refill.
 type maskedTopology struct {
 	base   Topology
 	active []bool
 	adj    [][]int // returned view: nil entries for departed/link-less nodes
 	bufs   [][]int // per-node append buffers; capacity persists across refills
+
+	filled   bool   // adj/bufs hold a refill for (lastMask, lastVer)
+	lastVer  uint64 // base position version at the last refill
+	lastMask []bool // activity mask captured at the last refill
 }
 
 func (m *maskedTopology) N() int { return m.base.N() }
@@ -111,6 +122,10 @@ func (m *maskedTopology) AdjacencyLists() [][]int {
 	if len(m.adj) != n {
 		m.adj = make([][]int, n)
 		m.bufs = make([][]int, n)
+	}
+	ver, hasVer := m.base.(PositionVersioner)
+	if m.filled && hasVer && ver.PositionVersion() == m.lastVer && masksEqual(m.lastMask, m.active) {
+		return m.adj
 	}
 	app, canAppend := m.base.(NeighborAppender)
 	var full [][]int
@@ -146,7 +161,24 @@ func (m *maskedTopology) AdjacencyLists() [][]int {
 			m.adj[i] = buf
 		}
 	}
+	if hasVer {
+		m.filled = true
+		m.lastVer = ver.PositionVersion()
+		m.lastMask = append(m.lastMask[:0], m.active...)
+	}
 	return m.adj
+}
+
+func masksEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (m *maskedTopology) IsLink(i, j int) bool {

@@ -146,6 +146,60 @@ func diffCases(t *testing.T) []diffCase {
 		{"sparse5000-static", sparse5000, simCfg(phy.RTSCTS, uniformCW(26, 5000), 1e5, 33)},
 		{"mobile5000", mobile5000, mob(simCfg(phy.RTSCTS, uniformCW(26, 5000), 5e4, 34), 2e4)},
 		{"grid10000-static", grid10000, simCfg(phy.RTSCTS, uniformCW(26, 10000), 5e4, 35)},
+		// CW << MaxStage past maxRingSpan: the calendar falls back to the
+		// lazy-shift heap; the reference pins that path stays exact too.
+		{"huge-cw-heap-fallback", line, simCfg(phy.RTSCTS, uniformCW(3000, 5), 4e6, 36)},
+	}
+}
+
+// rebuildOnly hides the concrete *topology.Network type behind an
+// anonymous embedding, so the engine's `nw.(*topology.Network)` probe
+// misses and it takes the re-snapshot path (AdjacencyInto per mobility
+// step) instead of binding the incremental adjacency view. Method
+// promotion keeps every fast-path interface — MobileTopology,
+// NeighborAppender, AdjacencyReuser — satisfied.
+type rebuildOnly struct{ *topology.Network }
+
+// TestDifferentialDeltaVsRebuildPath pins the tentpole claim at scale:
+// the incremental delta path must be bit-identical to the rebuild path —
+// same results, same post-run network state — on mobile networks at
+// n=1000 and n=5000. Both sides run the fast engine, so the populations
+// can be larger and the mobility much churnier than the
+// reference-pinned cases afford.
+func TestDifferentialDeltaVsRebuildPath(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		dim   float64
+		seed  uint64
+		cfg   SimConfig
+		every float64
+	}{
+		{"mobile1000-delta", 1000, 3162, 41, simCfg(phy.RTSCTS, uniformCW(26, 1000), 5e5, 41), 2e4},
+		{"mobile1000-fast-mobility", 1000, 3162, 42, simCfg(phy.RTSCTS, uniformCW(64, 1000), 2e5, 42), 2e3},
+		{"mobile5000-delta", 5000, 7071, 43, simCfg(phy.RTSCTS, uniformCW(26, 5000), 2e5, 43), 2e4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.MobilityEvery = tc.every
+			deltaNet := randomNetworkSized(t, tc.n, tc.dim, tc.dim, 250, tc.seed)
+			rebuildNet := randomNetworkSized(t, tc.n, tc.dim, tc.dim, 250, tc.seed)
+			want, err := Simulate(rebuildOnly{rebuildNet}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Simulate(deltaNet, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("delta path diverged from rebuild path")
+			}
+			if !reflect.DeepEqual(deltaNet.AdjacencyLists(), rebuildNet.AdjacencyLists()) {
+				t.Fatal("post-run networks diverged: delta path stepped mobility differently")
+			}
+		})
 	}
 }
 

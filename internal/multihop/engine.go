@@ -6,6 +6,7 @@ import (
 
 	"selfishmac/internal/core"
 	"selfishmac/internal/rng"
+	"selfishmac/internal/topology"
 )
 
 // Engine plays the multi-hop repeated game G' dynamically: each stage
@@ -121,11 +122,18 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 	hist := newObsHistory(n, e.strategies)
 
 	// Per-stage scratch, allocated once: the masked churn view filters
-	// into its own reusable buffers, and grid-backed topologies refill
-	// adjBuf instead of handing back fresh O(n) slices every stage.
+	// into its own reusable buffers (skipping the refill entirely when
+	// neither mask nor positions changed), grid-backed topologies hold an
+	// incrementally-patched adjacency view — on a static network every
+	// stage after the first consults it for free — and other topologies
+	// refill adjBuf instead of handing back fresh O(n) slices per stage.
 	var masked *maskedTopology
 	if churn != nil {
 		masked = &maskedTopology{base: e.nw}
+	}
+	var view *topology.Adjacency
+	if tn, ok := e.nw.(*topology.Network); ok && churn == nil {
+		view = tn.AdjacencyView()
 	}
 	var adjBuf [][]int
 
@@ -141,11 +149,16 @@ func (e *Engine) Run(maxStages int) (*Trace, error) {
 			nw = masked
 		}
 		var adj [][]int
-		if r, ok := nw.(AdjacencyReuser); ok {
-			adjBuf = r.AdjacencyInto(adjBuf)
-			adj = adjBuf
-		} else {
-			adj = nw.AdjacencyLists()
+		switch {
+		case view != nil:
+			adj = view.Rows()
+		default:
+			if r, ok := nw.(AdjacencyReuser); ok {
+				adjBuf = r.AdjacencyInto(adjBuf)
+				adj = adjBuf
+			} else {
+				adj = nw.AdjacencyLists()
+			}
 		}
 
 		profile := make([]int, n)

@@ -2,8 +2,10 @@ package multihop
 
 import (
 	"fmt"
+	"sync"
 
 	"selfishmac/internal/rng"
+	"selfishmac/internal/topology"
 )
 
 // fastsim.go is the event-skipping engine behind Simulate. The reference
@@ -13,11 +15,14 @@ import (
 // jumps the clock directly to the minimum fire slot — the next event
 // horizon over counter expiries, busyUntil/txUntil freezes and pending
 // mobility steps. Idle slots are never visited. The minimum is found
-// through the fire-slot calendar (fireheap.go), a lazy-shift min-heap
-// over (fire slot, node) keys: freeze shifts update fire[] only, stale
-// heap entries are repaired on pop, and valid same-slot entries surface
-// in ascending node order — so event selection is O(log n) instead of
-// the former O(n) scan, which dominated at n >= 1000.
+// through the fire-slot calendar (firering.go): a bucket ring over the
+// bounded fire-slot horizon for every realistic configuration, the
+// lazy-shift min-heap (fireheap.go) beyond it. Either way freeze shifts
+// update fire[] only, stale calendar entries are repaired when visited,
+// and expired sets come back in ascending node order — so event
+// selection costs O(1) amortized per calendar touch instead of the
+// former O(n) scan (and the heap's O(log n) sifts), which dominated the
+// per-op profile at n >= 1000.
 //
 // Freeze/resume accounting is carried in the fire slots themselves. With
 // "blocked" meaning max(busyUntil, txUntil) > t:
@@ -35,34 +40,52 @@ import (
 //     resumes at t+1, so it fires at t+1+c; carrier freezes from later
 //     transmitters in the same slot then shift it like any counting node.
 //
+// Those rules bound every fire slot by t + maxDur + maxCW - 1, which is
+// what lets the ring calendar cover the horizon with a fixed number of
+// buckets (see firering.go).
+//
 // Mobility steps are applied in catch-up fashion before processing any
 // event at or past their due slot, preserving both the step count and
 // their order relative to MAC events — the network's own PRNG trajectory
-// and final state are identical to the reference.
+// and final state are identical to the reference. Grid-backed networks
+// (*topology.Network) advance through an incremental adjacency view:
+// the step patches only the neighbor rows incident to nodes that moved,
+// and a static network (MaxSpeed 0) skips adjacency work entirely after
+// the initial snapshot. Other topologies — churn-masked views, test
+// fakes — re-snapshot as before.
 //
 // Determinism contract: PRNG draws happen in exactly the reference order
 // — per event slot, expired nodes act in ascending node order (isolated
 // redraw or receiver pick), then transmitters redraw in ascending order —
 // so Simulate and SimulateReference produce byte-identical SimResults.
 //
-// The state lives in simState so the engine is reusable: init allocates
-// every buffer once, reset restores the initial trajectory state for a
-// new seed without allocating, and run executes one simulation into the
-// state-owned result. Simulate wraps one-shot usage; the exported
-// Simulator (simulator.go) exposes the reusable lifecycle for replication
-// loops.
+// The state lives in simState so the engine is reusable: init sizes
+// every buffer (reusing capacity from a previous binding, so pooled
+// states re-init without allocating), reset restores the initial
+// trajectory state for a new seed, and run executes one simulation into
+// the state-owned result. Simulate draws states from a package pool —
+// steady-state one-shot calls reuse buffers and adjacency views from
+// earlier calls; the exported Simulator (simulator.go) exposes the
+// explicit lifecycle for replication loops.
 type simState struct {
 	nw     Topology
 	mobile MobileTopology
 	cfg    SimConfig
 	n      int
 
-	adj          [][]int
+	// adj is the active adjacency: the view's patched rows when the
+	// topology is a grid-backed *topology.Network, the state-owned
+	// snapshot buffers (adjOwn) otherwise. The rows are never written by
+	// the engine.
+	adj    [][]int
+	view   *topology.Adjacency
+	adjOwn [][]int
+
 	src          rng.Source
 	nodes        []spatialNode
-	fire         []int64  // absolute slot at which the node next acts
-	heap         fireHeap // fire-slot calendar; entries may lag fire[]
-	expired      []int    // scratch: this event's expired nodes, ascending
+	fire         []int64      // absolute slot at which the node next acts
+	cal          fireCalendar // fire-slot calendar; entries may lag fire[]
+	expired      []int        // scratch: this event's expired nodes, ascending
 	transmitters []int
 	receivers    []int
 	inTx         []bool
@@ -75,23 +98,38 @@ type simState struct {
 	nextMobility       int64
 }
 
-// init binds the state to a network and config, allocates every buffer,
+// init binds the state to a network and config, (re)sizes every buffer,
 // and resets for cfg.Seed. cfg must already be validated; cfg.CW is
 // retained, so callers that reuse the state must pass an owned slice.
+// Capacity from a previous binding is reused, so re-initialising a
+// pooled state at the same population allocates nothing.
 func (st *simState) init(nw Topology, mobile MobileTopology, cfg SimConfig) {
 	n := nw.N()
 	st.nw, st.mobile, st.cfg, st.n = nw, mobile, cfg, n
-	st.nodes = make([]spatialNode, n)
-	st.fire = make([]int64, n)
-	st.heap.init(n)
-	st.expired = make([]int, 0, n)
-	st.transmitters = make([]int, 0, n)
-	st.receivers = make([]int, n)
-	st.inTx = make([]bool, n)
-	st.drawn = make([]int, n)
-	st.res.Nodes = make([]NodeStats, n)
-	st.adj = nil
-	st.snapshotAdj(nw)
+	st.nodes = growSlice(st.nodes, n)
+	st.fire = growSlice(st.fire, n)
+	st.expired = growSlice(st.expired, n)[:0]
+	st.transmitters = growSlice(st.transmitters, n)[:0]
+	st.receivers = growSlice(st.receivers, n)
+	st.inTx = growSlice(st.inTx, n)
+	st.drawn = growSlice(st.drawn, n)
+	st.res.Nodes = growSlice(st.res.Nodes, n)
+
+	if tn, ok := nw.(*topology.Network); ok {
+		// Incremental path: bind (or re-bind) the adjacency view. A pooled
+		// state meeting the same network again keeps the synchronised view
+		// and pays nothing here; a static network shared across many runs
+		// is snapshotted exactly once.
+		if st.view == nil {
+			st.view = tn.AdjacencyView()
+		} else {
+			st.view.Rebind(tn)
+		}
+		st.adj = st.view.Rows()
+	} else {
+		st.view = nil
+		st.snapshotAdj(nw)
+	}
 
 	st.tsSlots = int64(cfg.Timing.SlotsCeil(cfg.Timing.Ts))
 	st.tcSlots = int64(cfg.Timing.SlotsCeil(cfg.Timing.Tc))
@@ -109,21 +147,51 @@ func (st *simState) init(nw Topology, mobile MobileTopology, cfg SimConfig) {
 	st.reset(cfg.Seed)
 }
 
-// snapshotAdj refreshes st.adj from the topology. Grid-backed networks
-// (AdjacencyReuser) refill the state-owned buffers in place, so each
-// mobility re-snapshot costs O(n·deg) with no per-node allocations;
-// other topologies fall back to a fresh AdjacencyLists.
+// growSlice returns s resized to n elements, reusing its capacity when
+// possible. Contents are unspecified; callers overwrite.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// snapshotAdj refreshes the state-owned adjacency buffers from a
+// non-view topology. Topologies implementing AdjacencyReuser (the churn
+// mask does not, but custom ones may) refill the buffers in place;
+// others fall back to a fresh AdjacencyLists.
 func (st *simState) snapshotAdj(nw Topology) {
 	if r, ok := nw.(AdjacencyReuser); ok {
-		st.adj = r.AdjacencyInto(st.adj)
+		st.adjOwn = r.AdjacencyInto(st.adjOwn)
+		st.adj = st.adjOwn
 		return
 	}
 	st.adj = nw.AdjacencyLists()
 }
 
+// calSpan returns the fire-slot horizon for the current config: no fire
+// slot is ever filed more than maxDur + maxCW - 1 slots past the current
+// event slot (see the freeze/resume rules above).
+func (st *simState) calSpan() int64 {
+	maxCW := 0
+	for _, w := range st.cfg.CW {
+		if w > maxCW {
+			maxCW = w
+		}
+	}
+	span := int64(maxCW) << uint(st.cfg.MaxStage)
+	if st.tsSlots > st.tcSlots {
+		span += st.tsSlots
+	} else {
+		span += st.tcSlots
+	}
+	return span
+}
+
 // reset restores the initial trajectory state for the given seed: PRNG
 // re-seeded, backoff states redrawn in node order (exactly like the
-// reference loop's setup), result cleared. It allocates nothing.
+// reference loop's setup), result cleared. It allocates nothing in
+// steady state.
 func (st *simState) reset(seed uint64) {
 	st.cfg.Seed = seed
 	st.src.Reseed(seed)
@@ -131,8 +199,10 @@ func (st *simState) reset(seed uint64) {
 		st.nodes[i] = spatialNode{cw: st.cfg.CW[i]}
 		st.nodes[i].draw(&st.src, st.cfg.MaxStage)
 		st.fire[i] = int64(st.nodes[i].counter)
+		st.inTx[i] = false
 	}
-	st.heap.rebuild(st.fire)
+	st.cal.configure(st.n, st.calSpan())
+	st.cal.rebuild(st.fire)
 	for i := range st.res.Nodes {
 		st.res.Nodes[i] = NodeStats{}
 	}
@@ -141,6 +211,25 @@ func (st *simState) reset(seed uint64) {
 	if st.mobilityEverySlots > 0 {
 		st.nextMobility = st.mobilityEverySlots
 	}
+}
+
+// stepMobility advances the mobility model by one MobilityEvery interval
+// and refreshes the active adjacency: an incremental patch through the
+// view when bound, a re-snapshot otherwise.
+func (st *simState) stepMobility() error {
+	dt := st.cfg.MobilityEvery / 1e6
+	if st.view != nil {
+		if _, err := st.view.StepDelta(dt); err != nil {
+			return err
+		}
+		st.adj = st.view.Rows()
+		return nil
+	}
+	if err := st.mobile.Step(dt); err != nil {
+		return err
+	}
+	st.snapshotAdj(st.mobile)
+	return nil
 }
 
 // run executes the simulation to completion and finalises the state-owned
@@ -156,44 +245,21 @@ func (st *simState) run() (*SimResult, error) {
 	var totalAttempts, totalHidden int64
 
 	for {
-		// Jump to the next event horizon: pop the calendar until a
-		// current entry surfaces. Entries whose node was freeze-shifted
-		// since filing carry a stale (smaller) slot; repair them by
-		// re-filing at the node's true fire slot. Because shifts only
-		// move fire slots forward, the heap minimum is always a lower
-		// bound on the true minimum, so the first current entry popped
-		// is exactly the minimum fire slot.
+		// Jump to the next event horizon: the calendar advances to the
+		// first slot holding a node whose true fire slot expires there,
+		// repairing freeze-shifted (stale) entries along the way, and
+		// hands back the expired set in ascending node order — the order
+		// the reference loop acts them in.
 		var t int64
 		expired := st.expired[:0]
-		for {
-			s, i := st.heap.pop()
-			if s != fire[i] {
-				st.heap.push(fire[i], i)
-				continue
-			}
-			t = s
-			expired = append(expired, i)
-			break
-		}
-		// Collect the rest of this slot's expiries. Keys tie-break on
-		// node id, so current entries pop in ascending node order — the
-		// order the reference loop acts them in.
-		for st.heap.len() > 0 && st.heap.minSlot() == t {
-			_, i := st.heap.pop()
-			if fire[i] != t {
-				st.heap.push(fire[i], i)
-				continue
-			}
-			expired = append(expired, i)
-		}
+		t, expired = st.cal.nextEvent(fire, totalSlots, expired)
 		if t >= totalSlots {
 			// No further MAC event inside the run; apply the mobility
 			// steps the reference loop would still have performed.
 			for nextMobility > 0 && nextMobility < totalSlots {
-				if err := st.mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
+				if err := st.stepMobility(); err != nil {
 					return nil, fmt.Errorf("multihop: mobility step: %w", err)
 				}
-				st.snapshotAdj(st.mobile)
 				adj = st.adj
 				nextMobility += st.mobilityEverySlots
 			}
@@ -202,10 +268,9 @@ func (st *simState) run() (*SimResult, error) {
 		// Mobility catch-up: one step per due point, all before phase 1
 		// of this slot — exactly when the reference would have stepped.
 		for nextMobility > 0 && t >= nextMobility {
-			if err := st.mobile.Step(cfg.MobilityEvery / 1e6); err != nil {
+			if err := st.stepMobility(); err != nil {
 				return nil, fmt.Errorf("multihop: mobility step: %w", err)
 			}
-			st.snapshotAdj(st.mobile)
 			adj = st.adj
 			nextMobility += st.mobilityEverySlots
 		}
@@ -219,7 +284,7 @@ func (st *simState) run() (*SimResult, error) {
 				// would not have fired).
 				nodes[i].draw(&st.src, cfg.MaxStage)
 				fire[i] = t + 1 + int64(nodes[i].counter)
-				st.heap.push(fire[i], i)
+				st.cal.push(fire[i], i)
 				continue
 			}
 			transmitters = append(transmitters, i)
@@ -309,7 +374,7 @@ func (st *simState) run() (*SimResult, error) {
 				b = nodes[i].txUntil
 			}
 			fire[i] = b + int64(drawn[i])
-			st.heap.push(fire[i], i)
+			st.cal.push(fire[i], i)
 			inTx[i] = false
 		}
 	}
@@ -328,10 +393,41 @@ func (st *simState) run() (*SimResult, error) {
 	return res, nil
 }
 
-// simulateFast is the one-shot entry behind Simulate: fresh state per
-// call, supporting mobility.
+// statePool recycles simStates across one-shot Simulate calls. Pooled
+// states keep their buffers and their adjacency view: repeated runs at
+// the same population re-init without allocating, and repeated runs over
+// the *same* static network skip the adjacency snapshot entirely. A
+// state's references (topology, CW, observer) are dropped before
+// pooling except the view's network binding, which is exactly the cache
+// the amortisation relies on; sync.Pool releases idle states under GC
+// pressure, so the binding never outlives memory demand.
+var statePool = sync.Pool{New: func() any { return &simState{} }}
+
+// release clears the state's borrowed references and returns it to the
+// pool.
+func (st *simState) release() {
+	st.nw, st.mobile, st.adj = nil, nil, nil
+	st.cfg.CW, st.cfg.Observer = nil, nil
+	statePool.Put(st)
+}
+
+// simulateFast is the one-shot entry behind Simulate: a pooled state per
+// call, supporting mobility. The result is copied out of the state so
+// the caller owns it outright.
 func simulateFast(nw Topology, mobile MobileTopology, cfg SimConfig) (*SimResult, error) {
-	st := &simState{}
+	st := statePool.Get().(*simState)
 	st.init(nw, mobile, cfg)
-	return st.run()
+	res, err := st.run()
+	if err != nil {
+		st.release()
+		return nil, err
+	}
+	out := &SimResult{
+		Nodes:          append([]NodeStats(nil), res.Nodes...),
+		Time:           res.Time,
+		Slots:          res.Slots,
+		HiddenFraction: res.HiddenFraction,
+	}
+	st.release()
+	return out, nil
 }

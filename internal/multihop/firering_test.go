@@ -1,0 +1,131 @@
+package multihop
+
+import (
+	"reflect"
+	"testing"
+
+	"selfishmac/internal/rng"
+)
+
+// firering_test.go pins the bucket-ring calendar against the lazy-shift
+// heap it replaced: driven with the same fire-slot trajectory — pushes,
+// silent forward shifts (carrier freezes), expiry collection — both must
+// report identical (slot, expired-set) sequences, as long as the
+// trajectory respects the engine's horizon bound (no fire slot more than
+// span-1 slots past the current event slot).
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int64]int64{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFireCalendarSelection(t *testing.T) {
+	var c fireCalendar
+	c.configure(10, 512)
+	if !c.useRing {
+		t.Fatal("span 512 should select the ring")
+	}
+	c.configure(10, maxRingSpan+1)
+	if c.useRing {
+		t.Fatalf("span %d should fall back to the heap", maxRingSpan+1)
+	}
+	c.configure(10, 0)
+	if c.useRing {
+		t.Fatal("span 0 should fall back to the heap")
+	}
+}
+
+// TestFireRingMatchesHeapTrajectory runs randomized engine-shaped
+// trajectories through a ring calendar and a heap calendar in lockstep.
+func TestFireRingMatchesHeapTrajectory(t *testing.T) {
+	const (
+		n     = 150
+		span  = int64(900)
+		limit = int64(250000)
+	)
+	for trial := uint64(0); trial < 8; trial++ {
+		src := rng.New(trial + 101)
+		fire := make([]int64, n)
+		for i := range fire {
+			fire[i] = int64(src.Intn(int(span)))
+		}
+		var ring, heap fireCalendar
+		ring.configure(n, span)
+		heap.configure(n, 0) // force the fallback
+		if !ring.useRing || heap.useRing {
+			t.Fatal("calendar selection did not split as intended")
+		}
+		ring.rebuild(fire)
+		heap.rebuild(fire)
+
+		var ringExp, heapExp []int
+		for round := 0; ; round++ {
+			var tr, th int64
+			tr, ringExp = ring.nextEvent(fire, limit, ringExp[:0])
+			th, heapExp = heap.nextEvent(fire, limit, heapExp[:0])
+			if tr >= limit || th >= limit {
+				if tr < limit || th < limit {
+					t.Fatalf("trial %d round %d: one calendar ended (ring %d, heap %d)", trial, round, tr, th)
+				}
+				break
+			}
+			if tr != th {
+				t.Fatalf("trial %d round %d: ring slot %d != heap slot %d", trial, round, tr, th)
+			}
+			if !reflect.DeepEqual(ringExp, heapExp) {
+				t.Fatalf("trial %d round %d: expired sets diverged: ring %v heap %v", trial, round, ringExp, heapExp)
+			}
+			t0 := tr
+			// Freeze-shift a random subset of the still-filed nodes forward
+			// without telling the calendars, staying inside the horizon.
+			for k := 0; k < n/8; k++ {
+				j := src.Intn(n)
+				if fire[j] <= t0 {
+					continue // being re-keyed below, or already collected
+				}
+				shifted := fire[j] + int64(src.Intn(40))
+				if max := t0 + span - 1; shifted > max {
+					shifted = max
+				}
+				fire[j] = shifted
+			}
+			// Re-key the expired nodes, engine-style: resume at t+1 with a
+			// fresh counter inside the horizon.
+			for _, i := range ringExp {
+				fire[i] = t0 + 1 + int64(src.Intn(int(span)-1))
+				ring.push(fire[i], i)
+				heap.push(fire[i], i)
+			}
+		}
+	}
+}
+
+// TestFireRingExpiredAscending pins the collection order the engine's
+// PRNG-draw contract depends on: whatever order entries were filed in a
+// bucket, the expired run comes back in ascending node order.
+func TestFireRingExpiredAscending(t *testing.T) {
+	const n = 64
+	fire := make([]int64, n)
+	for i := range fire {
+		fire[i] = 7 // everyone expires at once, filed in index order
+	}
+	var ring fireRing
+	ring.init(n, 64)
+	ring.rebuild(fire)
+	slot, expired := ring.nextEvent(fire, 100, nil)
+	if slot != 7 {
+		t.Fatalf("slot = %d, want 7", slot)
+	}
+	if len(expired) != n {
+		t.Fatalf("collected %d nodes, want %d", len(expired), n)
+	}
+	for i := 1; i < len(expired); i++ {
+		if expired[i-1] >= expired[i] {
+			t.Fatalf("expired not ascending at %d: %v", i, expired)
+		}
+	}
+}

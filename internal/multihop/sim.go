@@ -63,6 +63,15 @@ type AdjacencyReuser interface {
 	AdjacencyInto(dst [][]int) [][]int
 }
 
+// PositionVersioner is an optional staleness probe: PositionVersion
+// returns a counter that changes whenever node positions change. Views
+// layered over a topology (the churn mask, adjacency consumers) use it
+// to skip refilling their caches when nothing moved since the last
+// consult. *topology.Network implements it.
+type PositionVersioner interface {
+	PositionVersion() uint64
+}
+
 // Observer receives one event per slot in which at least one node starts
 // transmitting: the global slot index and the transmitter set in
 // ascending node order. The slice is engine-owned scratch, valid only for

@@ -49,6 +49,25 @@ func (s *Simulator) Reset(seed uint64) {
 	s.st.reset(seed)
 }
 
+// Reconfigure rebinds the simulator to a new config at the same node
+// count: timing, duration, payoff parameters, CW profile and seed may
+// all change; the network stays the one it was constructed with. It is
+// the pooled-engine hot path — at a fixed shape it reuses every buffer
+// (including the adjacency view, so a pooled simulator rebound to the
+// same static network skips adjacency work outright) and allocates
+// nothing in steady state.
+func (s *Simulator) Reconfigure(cfg SimConfig) error {
+	if cfg.MobilityEvery > 0 {
+		return errors.New("multihop: Simulator does not support mobility; use Simulate")
+	}
+	if err := cfg.validate(s.st.n); err != nil {
+		return fmt.Errorf("multihop: invalid sim config: %w", err)
+	}
+	cfg.CW = append(s.st.cfg.CW[:0], cfg.CW...)
+	s.st.init(s.st.nw, nil, cfg)
+	return nil
+}
+
 // SetCW swaps the per-node contention-window profile in place (copying
 // cw into the simulator-owned slice) and resets backoff state for the
 // current seed. Call Reset afterwards to pick the replication seed.

@@ -87,6 +87,74 @@ func TestSimulatorSetCW(t *testing.T) {
 	}
 }
 
+// Reconfigure must behave exactly like building a fresh simulator with
+// the new config on the same network — the engine pool swaps whole
+// configs (duration, timing, CW, seed) through it at a fixed topology.
+func TestDifferentialSimulatorReconfigure(t *testing.T) {
+	nw := randomNetwork(t, 30, 300, 37)
+	sim, err := NewSimulator(nw, simCfg(phy.RTSCTS, uniformCW(64, 30), 1e6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []SimConfig{
+		simCfg(phy.RTSCTS, uniformCW(32, 30), 5e5, 2),
+		simCfg(phy.Basic, uniformCW(116, 30), 1e6, 3),
+		simCfg(phy.RTSCTS, []int{8, 64, 16, 128, 32, 8, 64, 16, 128, 32, 8, 64, 16, 128, 32, 8, 64, 16, 128, 32, 8, 64, 16, 128, 32, 8, 64, 16, 128, 32}, 2e5, 4),
+	}
+	for ci, cfg := range configs {
+		if err := sim.Reconfigure(cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Simulate(nw, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("config %d: reconfigured simulator diverged from fresh Simulate", ci)
+		}
+	}
+	bad := simCfg(phy.RTSCTS, uniformCW(32, 30), 1e6, 5)
+	bad.MobilityEvery = 1e5
+	if err := sim.Reconfigure(bad); err == nil {
+		t.Fatal("Reconfigure accepted a mobile config")
+	}
+	if err := sim.Reconfigure(simCfg(phy.RTSCTS, uniformCW(32, 29), 1e6, 6)); err == nil {
+		t.Fatal("Reconfigure accepted a wrong-length profile")
+	}
+}
+
+// Reconfigure at a fixed shape is the pooled-engine hot path: zero
+// allocations, even when the duration changes between configs.
+func TestSimulatorReconfigureAllocationFree(t *testing.T) {
+	nw := randomNetwork(t, 50, 180, 11)
+	cfgA := simCfg(phy.RTSCTS, uniformCW(116, 50), 5e5, 1)
+	cfgB := simCfg(phy.RTSCTS, uniformCW(58, 50), 8e5, 2)
+	sim, err := NewSimulator(nw, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := false
+	if allocs := testing.AllocsPerRun(5, func() {
+		cfg := cfgA
+		if flip {
+			cfg = cfgB
+		}
+		flip = !flip
+		if err := sim.Reconfigure(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Reconfigure+Run allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
 // The simulator must not retain the caller's CW slice.
 func TestSimulatorCopiesConfig(t *testing.T) {
 	nw := &fixedGraph{adj: [][]int{{1}, {0, 2}, {1}}}

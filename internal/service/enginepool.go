@@ -55,13 +55,14 @@ func (p *shapedPool[K, E]) get(key K) (E, bool) {
 
 func (p *shapedPool[K, E]) put(key K, e E) { p.pool(key).Put(e) }
 
-// multihopShape identifies interchangeable multihop simulators: same
-// deterministic topology and same per-replication duration. The CW
-// profile is deliberately not part of the shape — SetCW swaps it in
-// place on acquire.
+// multihopShape identifies interchangeable multihop simulators: the
+// deterministic topology alone. Duration, timing, payoff parameters and
+// the CW profile are deliberately not part of the shape — Reconfigure
+// swaps the whole config in place on acquire, allocation-free at a
+// fixed shape — so jobs over the same network share one pooled
+// topology+engine pair regardless of their stage parameters.
 type multihopShape struct {
-	topo       topology.Config
-	durationUs float64
+	topo topology.Config
 }
 
 // macsimShape identifies interchangeable single-hop engines. Only the
@@ -78,14 +79,14 @@ var (
 )
 
 // acquireMultihop returns a simulator for the shape, pooled when one is
-// available (CW swapped in place) and freshly built otherwise. Release
+// available (reconfigured in place) and freshly built otherwise. Release
 // with releaseMultihop when the job is done with it.
 func acquireMultihop(shape multihopShape, cfg multihop.SimConfig) (*multihop.Simulator, error) {
 	if sim, ok := multihopPool.get(shape); ok {
-		if err := sim.SetCW(cfg.CW); err == nil {
+		if err := sim.Reconfigure(cfg); err == nil {
 			return sim, nil
 		}
-		// Shape key should make SetCW infallible; fall through to a
+		// Shape key should make Reconfigure infallible; fall through to a
 		// fresh build rather than trusting a mismatched engine.
 	}
 	nw, err := topology.New(shape.topo)

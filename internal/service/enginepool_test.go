@@ -59,22 +59,32 @@ func TestPooledMultihopSteadyStateAllocationFree(t *testing.T) {
 		t.Skip("sync.Pool drops Puts at random under the race detector; the pin only holds in regular builds")
 	}
 	shape := multihopShape{
-		topo:       topology.Config{N: 25, Width: 800, Height: 800, Range: 200, Seed: 5},
-		durationUs: 5e4,
+		topo: topology.Config{N: 25, Width: 800, Height: 800, Range: 200, Seed: 5},
 	}
-	cfg := multihop.DefaultSimConfig(shape.durationUs, 1)
+	cfg := multihop.DefaultSimConfig(5e4, 1)
 	cfg.CW = make([]int, shape.topo.N)
 	for i := range cfg.CW {
 		cfg.CW[i] = 64
 	}
+	// The shape keys by topology alone: a warm engine must also absorb a
+	// different stage duration through Reconfigure without rebuilding.
+	cfgLong := multihop.DefaultSimConfig(8e4, 2)
+	cfgLong.CW = cfg.CW
+
 	warm, err := acquireMultihop(shape, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	releaseMultihop(shape, warm)
 
+	flip := false
 	allocs := testing.AllocsPerRun(10, func() {
-		sim, err := acquireMultihop(shape, cfg)
+		c := cfg
+		if flip {
+			c = cfgLong
+		}
+		flip = !flip
+		sim, err := acquireMultihop(shape, c)
 		if err != nil {
 			t.Fatal(err)
 		}

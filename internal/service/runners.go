@@ -148,8 +148,7 @@ func runReplicateJob(ctx context.Context, raw json.RawMessage, progress func(v a
 	p.applyDefaults()
 
 	shape := multihopShape{
-		topo:       topology.Config{N: p.Nodes, Width: p.Width, Height: p.Height, Range: p.Range, Seed: p.TopoSeed},
-		durationUs: p.DurationUs,
+		topo: topology.Config{N: p.Nodes, Width: p.Width, Height: p.Height, Range: p.Range, Seed: p.TopoSeed},
 	}
 	cfg := multihop.DefaultSimConfig(p.DurationUs, rng.DeriveSeed(p.BaseSeed, "service.replicate.sim", 0))
 	cw := make([]int, p.Nodes)

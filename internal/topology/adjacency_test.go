@@ -1,0 +1,304 @@
+package topology
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// adjacency_test.go pins the incremental view's contract: rows patched by
+// StepDelta are byte-identical — contents, ordering, nil-ness — to the
+// brute-force reference recomputed from scratch after every mobility
+// step, the reported deltas are exactly the set difference between
+// consecutive snapshots, and the steady-state patch path allocates
+// nothing.
+
+// twinNetworks builds two identical networks from one config; stepping
+// them in lockstep keeps their PRNG trajectories — and so their
+// positions — equal, which is what lets the view on one be checked
+// against brute force on the other.
+func twinNetworks(t *testing.T, cfg Config) (*Network, *Network) {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// normRows canonicalises an adjacency for comparison: a row emptied by
+// patching is empty-but-non-nil in the view, while brute force keeps
+// nil — the contract is per-row contents and order, not nil-ness.
+func normRows(rows [][]int) [][]int {
+	out := make([][]int, len(rows))
+	for i, r := range rows {
+		if len(r) > 0 {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+func pairSet(pairs []Pair) map[Pair]bool {
+	m := make(map[Pair]bool, len(pairs))
+	for _, p := range pairs {
+		if p.A >= p.B {
+			return nil // ordering violation; caller fails on nil
+		}
+		m[p] = true
+	}
+	return m
+}
+
+// diffPairs returns the links present in after but not in before.
+func diffPairs(before, after [][]int) map[Pair]bool {
+	m := map[Pair]bool{}
+	for i, row := range after {
+		for _, j := range row {
+			if i < j && !contains(before[i], j) {
+				m[Pair{A: i, B: j}] = true
+			}
+		}
+	}
+	return m
+}
+
+func contains(row []int, j int) bool {
+	for _, v := range row {
+		if v == j {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDifferentialAdjacencyViewQuick drives randomized mobility churn
+// through the view and checks every step against brute force: row
+// equality, delta-set exactness, and moved-node reporting. The generated
+// configs cover cell-boundary crossings (speeds up to several cells per
+// step), zero-speed legs (MinSpeed 0 draws redrawn by the leg logic),
+// pause phases, and single-cell grids (range wider than the area).
+func TestDifferentialAdjacencyViewQuick(t *testing.T) {
+	check := func(seed uint64, nRaw, rangeRaw, speedRaw, dtRaw uint8) bool {
+		n := 2 + int(nRaw)%40
+		rangeM := 40 + float64(rangeRaw)*1.5 // up to > area: one-cell grid
+		maxSpeed := float64(speedRaw % 80)   // up to ~2 cells per 1s step
+		dt := 0.25 + float64(dtRaw%16)/4
+		cfg := Config{
+			N: n, Width: 300, Height: 200, Range: rangeM,
+			MinSpeed: 0, MaxSpeed: maxSpeed, Pause: 0.5, Seed: seed,
+		}
+		nv, nb := twinNetworks(t, cfg)
+		view := nv.AdjacencyView()
+		prev := normRows(nb.BruteForceAdjacencyLists())
+		if !reflect.DeepEqual(normRows(view.Rows()), prev) {
+			t.Log("initial rows diverged from brute force")
+			return false
+		}
+		for step := 0; step < 12; step++ {
+			posBefore := append([]Point(nil), nb.Positions()...)
+			delta, err := view.StepDelta(dt)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if err := nb.Step(dt); err != nil {
+				t.Log(err)
+				return false
+			}
+			cur := normRows(nb.BruteForceAdjacencyLists())
+			if !reflect.DeepEqual(normRows(view.Rows()), cur) {
+				t.Logf("step %d: patched rows diverged from brute force", step)
+				return false
+			}
+			// Moved = exactly the nodes whose position changed, ascending.
+			var moved []int
+			for i, p := range nb.Positions() {
+				if p != posBefore[i] {
+					moved = append(moved, i)
+				}
+			}
+			if !reflect.DeepEqual(delta.Moved, moved) && !(len(delta.Moved) == 0 && len(moved) == 0) {
+				t.Logf("step %d: Moved %v, want %v", step, delta.Moved, moved)
+				return false
+			}
+			// Gained/Lost = exactly the snapshot set differences.
+			gained, lost := pairSet(delta.Gained), pairSet(delta.Lost)
+			if gained == nil || lost == nil {
+				t.Logf("step %d: delta pair with A >= B", step)
+				return false
+			}
+			if wantG := diffPairs(prev, cur); !reflect.DeepEqual(gained, wantG) {
+				t.Logf("step %d: Gained %v, want %v", step, gained, wantG)
+				return false
+			}
+			if wantL := diffPairs(cur, prev); !reflect.DeepEqual(lost, wantL) {
+				t.Logf("step %d: Lost %v, want %v", step, lost, wantL)
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialAdjacencyViewResync pins staleness handling: mutations
+// outside the view's control — plain Steps, SetPositions, another view
+// stepping the same network — must be picked up by the next Rows or
+// StepDelta via the position version, and interleaving must keep the
+// rows byte-identical to brute force.
+func TestDifferentialAdjacencyViewResync(t *testing.T) {
+	cfg := Config{N: 30, Width: 400, Height: 400, Range: 150, MaxSpeed: 20, Seed: 77}
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := nw.AdjacencyView()
+	assertMatch := func(what string) {
+		t.Helper()
+		if !reflect.DeepEqual(normRows(view.Rows()), normRows(nw.BruteForceAdjacencyLists())) {
+			t.Fatalf("after %s: view diverged from brute force", what)
+		}
+	}
+	assertMatch("build")
+
+	// Plain Step behind the view's back.
+	if err := nw.Step(1.5); err != nil {
+		t.Fatal(err)
+	}
+	assertMatch("external Step")
+
+	// SetPositions teleport.
+	pos := append([]Point(nil), nw.Positions()...)
+	for i := range pos {
+		pos[i] = Point{X: float64((i * 37) % 400), Y: float64((i * 91) % 400)}
+	}
+	if err := nw.SetPositions(pos); err != nil {
+		t.Fatal(err)
+	}
+	assertMatch("SetPositions")
+
+	// A second view stepping the shared network stales the first.
+	other := nw.AdjacencyView()
+	if _, err := other.StepDelta(2); err != nil {
+		t.Fatal(err)
+	}
+	assertMatch("sibling view StepDelta")
+
+	// And a StepDelta on a stale view must resync before patching.
+	if err := nw.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.StepDelta(0.5); err != nil {
+		t.Fatal(err)
+	}
+	assertMatch("StepDelta after external Step")
+}
+
+// TestDifferentialAdjacencyViewStatic pins the static fast path: with
+// MaxSpeed 0 the position version never changes, StepDelta reports an
+// empty delta, and the mobility PRNG is untouched — matching
+// Network.Step's behavior for static networks exactly.
+func TestDifferentialAdjacencyViewStatic(t *testing.T) {
+	cfg := Config{N: 50, Width: 500, Height: 500, Range: 180, MaxSpeed: 0, Seed: 5}
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := nw.AdjacencyView()
+	rows0 := view.Rows()
+	ver0 := nw.PositionVersion()
+	for i := 0; i < 5; i++ {
+		d, err := view.StepDelta(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Moved) != 0 || len(d.Gained) != 0 || len(d.Lost) != 0 {
+			t.Fatalf("static network produced a non-empty delta: %+v", d)
+		}
+	}
+	if nw.PositionVersion() != ver0 {
+		t.Fatal("static steps bumped the position version")
+	}
+	// Same backing rows object: the view never rebuilt.
+	if &rows0[0] != &view.Rows()[0] {
+		t.Fatal("static view rebuilt its rows")
+	}
+	// The twin network's PRNG agrees after the same (draw-free) steps.
+	twin, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := twin.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(nw.Positions(), twin.Positions()) {
+		t.Fatal("static positions diverged from plain-Step twin")
+	}
+}
+
+// TestAdjacencyViewStepAllocsSteadyState pins the perf contract the view
+// exists for: once row capacities have reached their high-water mark,
+// StepDelta + Rows run allocation-free, mobile or static.
+func TestAdjacencyViewStepAllocsSteadyState(t *testing.T) {
+	cfg := Config{N: 200, Width: 1000, Height: 1000, Range: 250, MaxSpeed: 10, Seed: 9}
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := nw.AdjacencyView()
+	for i := 0; i < 300; i++ { // reach the row-capacity high-water mark
+		if _, err := view.StepDelta(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := view.StepDelta(1); err != nil {
+			t.Fatal(err)
+		}
+		view.Rows()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state StepDelta allocated %.2f objects per step, want 0", allocs)
+	}
+
+	static, err := New(Config{N: 200, Width: 1000, Height: 1000, Range: 250, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sview := static.AdjacencyView()
+	sview.Rows()
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := sview.StepDelta(1); err != nil {
+			t.Fatal(err)
+		}
+		sview.Rows()
+	})
+	if allocs > 0 {
+		t.Fatalf("static StepDelta allocated %.2f objects per step, want 0", allocs)
+	}
+}
+
+// TestAdjacencyViewRejectsNegativeStep mirrors Network.Step's contract.
+func TestAdjacencyViewRejectsNegativeStep(t *testing.T) {
+	nw, err := New(Config{N: 3, Width: 100, Height: 100, Range: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AdjacencyView().StepDelta(-1); err == nil {
+		t.Fatal("negative dt accepted")
+	}
+	if _, err := nw.AdjacencyView().StepDelta(math.Inf(-1)); err == nil {
+		t.Fatal("negative-infinite dt accepted")
+	}
+}

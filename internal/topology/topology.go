@@ -91,6 +91,12 @@ type Network struct {
 	pauseLeft []float64
 	src       *rng.Source
 	g         cellGrid
+	rangeSq   float64
+	// posGen counts position mutations: any Step that moved at least one
+	// node, and every SetPositions, bumps it. Adjacency views compare it
+	// to detect staleness, which is what lets static networks (and static
+	// phases of mobile runs) skip adjacency work entirely.
+	posGen uint64
 }
 
 // New places cfg.N nodes uniformly at random and initialises their
@@ -106,6 +112,7 @@ func New(cfg Config) (*Network, error) {
 		speed:     make([]float64, cfg.N),
 		pauseLeft: make([]float64, cfg.N),
 		src:       rng.New(cfg.Seed),
+		rangeSq:   cfg.Range * cfg.Range,
 	}
 	for i := range nw.pos {
 		nw.pos[i] = nw.randomPoint()
@@ -157,6 +164,54 @@ func (nw *Network) Positions() []Point {
 	return append([]Point(nil), nw.pos...)
 }
 
+// stepNode advances one node's random-waypoint state by dt seconds. It
+// is the shared inner loop of Step and Adjacency.Step: both must consume
+// the mobility PRNG identically, or the delta-patched and rebuilt paths
+// would diverge. The caller maintains the spatial index.
+func (nw *Network) stepNode(i int, dt float64) {
+	remaining := dt
+	for remaining > 0 {
+		if nw.pauseLeft[i] > 0 {
+			if nw.pauseLeft[i] >= remaining {
+				nw.pauseLeft[i] -= remaining
+				return
+			}
+			remaining -= nw.pauseLeft[i]
+			nw.pauseLeft[i] = 0
+			nw.newLeg(i)
+		}
+		sp := nw.speed[i]
+		if sp <= 0 {
+			if nw.cfg.MaxSpeed <= 0 {
+				// Static network: nodes never move.
+				return
+			}
+			// Defensive: a zero-speed leg in a mobile network can never
+			// reach its waypoint, so the node would freeze forever.
+			// legSpeed guarantees fresh legs are positive; replace a
+			// stale zero-speed leg and keep stepping.
+			nw.newLeg(i)
+			continue
+		}
+		dist := nw.pos[i].DistTo(nw.waypoint[i])
+		travel := sp * remaining
+		if travel < dist {
+			f := travel / dist
+			nw.pos[i].X += (nw.waypoint[i].X - nw.pos[i].X) * f
+			nw.pos[i].Y += (nw.waypoint[i].Y - nw.pos[i].Y) * f
+			remaining = 0
+		} else {
+			nw.pos[i] = nw.waypoint[i]
+			remaining -= dist / sp
+			if nw.cfg.Pause > 0 {
+				nw.pauseLeft[i] = nw.cfg.Pause
+			} else {
+				nw.newLeg(i)
+			}
+		}
+	}
+}
+
 // Step advances the random-waypoint mobility by dt seconds: each node
 // moves toward its waypoint at its leg speed, pauses on arrival, then
 // picks a new leg. dt must be non-negative.
@@ -164,56 +219,29 @@ func (nw *Network) Step(dt float64) error {
 	if dt < 0 {
 		return fmt.Errorf("topology: negative time step %g", dt)
 	}
+	moved := false
 	for i := range nw.pos {
-		remaining := dt
-		for remaining > 0 {
-			if nw.pauseLeft[i] > 0 {
-				if nw.pauseLeft[i] >= remaining {
-					nw.pauseLeft[i] -= remaining
-					remaining = 0
-					break
-				}
-				remaining -= nw.pauseLeft[i]
-				nw.pauseLeft[i] = 0
-				nw.newLeg(i)
-			}
-			sp := nw.speed[i]
-			if sp <= 0 {
-				if nw.cfg.MaxSpeed <= 0 {
-					// Static network: nodes never move.
-					remaining = 0
-					break
-				}
-				// Defensive: a zero-speed leg in a mobile network can never
-				// reach its waypoint, so the node would freeze forever.
-				// legSpeed guarantees fresh legs are positive; replace a
-				// stale zero-speed leg and keep stepping.
-				nw.newLeg(i)
-				continue
-			}
-			dist := nw.pos[i].DistTo(nw.waypoint[i])
-			travel := sp * remaining
-			if travel < dist {
-				f := travel / dist
-				nw.pos[i].X += (nw.waypoint[i].X - nw.pos[i].X) * f
-				nw.pos[i].Y += (nw.waypoint[i].Y - nw.pos[i].Y) * f
-				remaining = 0
-			} else {
-				nw.pos[i] = nw.waypoint[i]
-				remaining -= dist / sp
-				if nw.cfg.Pause > 0 {
-					nw.pauseLeft[i] = nw.cfg.Pause
-				} else {
-					nw.newLeg(i)
-				}
-			}
+		p := nw.pos[i]
+		nw.stepNode(i, dt)
+		if nw.pos[i] != p {
+			moved = true
 		}
 		// Incremental spatial-index maintenance: re-bucket the node only
 		// if its final position crossed a cell boundary.
 		nw.g.update(i, nw.pos[i])
 	}
+	if moved {
+		nw.posGen++
+	}
 	return nil
 }
+
+// PositionVersion returns a counter that changes whenever any node
+// position has changed (mobility steps that moved someone, SetPositions).
+// Consumers holding derived structures — adjacency views, masked churn
+// snapshots — compare it to decide whether a refresh is needed; on a
+// static network it never changes.
+func (nw *Network) PositionVersion() uint64 { return nw.posGen }
 
 // SetPositions replaces every node position (copying pts) and re-indexes
 // the spatial grid. Positions must lie inside the deployment area; the
@@ -231,12 +259,21 @@ func (nw *Network) SetPositions(pts []Point) error {
 	}
 	copy(nw.pos, pts)
 	nw.g.rebuild(nw.pos)
+	nw.posGen++
 	return nil
 }
 
-// IsLink reports whether i and j are within transmission range.
+// IsLink reports whether i and j are within transmission range. The
+// comparison is on squared distances — the same predicate as
+// dist <= Range without the square root, which the adjacency scans pay
+// once per candidate pair.
 func (nw *Network) IsLink(i, j int) bool {
-	return i != j && nw.pos[i].DistTo(nw.pos[j]) <= nw.cfg.Range
+	if i == j {
+		return false
+	}
+	dx := nw.pos[i].X - nw.pos[j].X
+	dy := nw.pos[i].Y - nw.pos[j].Y
+	return dx*dx+dy*dy <= nw.rangeSq
 }
 
 // Neighbors returns the indices of node i's neighbors (fresh slice, in
